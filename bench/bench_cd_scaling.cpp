@@ -1,0 +1,110 @@
+// Microbenchmark for Theorem 1: the cost-distance solver's running time is
+// O(t (n log n + m)). Sweeps the terminal count t at fixed graph size, and
+// the grid size n at fixed t; the reported times should grow ~linearly in t
+// and ~n log n in the graph size.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <set>
+
+#include "core/cost_distance.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cdst;
+
+struct Fixture {
+  std::unique_ptr<RoutingGrid> grid;
+  std::unique_ptr<FutureCost> fc;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  CostDistanceInstance inst;
+};
+
+Fixture make(std::uint64_t seed, int side, int layers, std::size_t sinks) {
+  Fixture f;
+  f.grid = std::make_unique<RoutingGrid>(
+      side, side, make_default_layer_stack(layers), ViaSpec{});
+  f.fc = std::make_unique<FutureCost>(*f.grid);
+  Rng rng(seed);
+  f.cost.resize(f.grid->graph().num_edges());
+  f.delay = f.grid->edge_delays();
+  for (std::size_t e = 0; e < f.cost.size(); ++e) {
+    f.cost[e] = f.grid->base_costs()[e] * (1.0 + 3.0 * rng.uniform_double());
+  }
+  f.inst.graph = &f.grid->graph();
+  f.inst.cost = &f.cost;
+  f.inst.delay = &f.delay;
+  f.inst.dbif = 2.0;
+  f.inst.eta = 0.25;
+  std::set<VertexId> used;
+  auto pick = [&]() {
+    while (true) {
+      const VertexId v = f.grid->vertex_at(
+          static_cast<std::int32_t>(rng.uniform(static_cast<std::uint64_t>(side))),
+          static_cast<std::int32_t>(rng.uniform(static_cast<std::uint64_t>(side))),
+          0);
+      if (used.insert(v).second) return v;
+    }
+  };
+  f.inst.root = pick();
+  for (std::size_t s = 0; s < sinks; ++s) {
+    f.inst.sinks.push_back(Terminal{pick(), 0.1 + rng.uniform_double()});
+  }
+  return f;
+}
+
+void BM_CostDistance_SinkCount(benchmark::State& state) {
+  const auto sinks = static_cast<std::size_t>(state.range(0));
+  const Fixture f = make(42, 48, 5, sinks);
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(sinks));
+}
+BENCHMARK(BM_CostDistance_SinkCount)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CostDistance_GraphSize(benchmark::State& state) {
+  const auto side = static_cast<int>(state.range(0));
+  const Fixture f = make(7, side, 4, 16);
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+  }
+  state.SetComplexityN(
+      static_cast<benchmark::IterationCount>(f.inst.graph->num_vertices()));
+}
+BENCHMARK(BM_CostDistance_GraphSize)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CostDistance_AStarOnOff(benchmark::State& state) {
+  const Fixture f = make(11, 64, 5, 24);
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  opts.use_astar = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+  }
+}
+BENCHMARK(BM_CostDistance_AStarOnOff)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

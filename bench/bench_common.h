@@ -1,0 +1,51 @@
+/// \file bench_common.h
+/// Shared helpers for the table-reproduction harnesses.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "route/netlist_gen.h"
+#include "route/router.h"
+#include "timing/repeater_chain.h"
+
+namespace cdst::bench {
+
+/// dbif for a chip's layer stack, derived from the repeater-chain model
+/// exactly as in paper Section I.
+inline double chip_dbif(const ChipConfig& chip) {
+  std::vector<LayerSpec> layers = make_default_layer_stack(chip.num_layers);
+  apply_linear_delay_model(layers, BufferSpec{});
+  return compute_dbif(layers, BufferSpec{});
+}
+
+/// Paper Table I/II sink-count buckets.
+struct SinkBucket {
+  std::size_t lo;
+  std::size_t hi;  // inclusive; SIZE_MAX for the last bucket
+  const char* label;
+};
+
+inline const std::vector<SinkBucket>& sink_buckets() {
+  static const std::vector<SinkBucket> buckets{
+      {3, 5, "3-5"},
+      {6, 14, "6-14"},
+      {15, 29, "15-29"},
+      {30, static_cast<std::size_t>(-1), ">=30"},
+  };
+  return buckets;
+}
+
+inline int bucket_of(std::size_t num_sinks) {
+  const auto& buckets = sink_buckets();
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (num_sinks >= buckets[b].lo && num_sinks <= buckets[b].hi) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+}  // namespace cdst::bench

@@ -1,0 +1,110 @@
+// Microbenchmarks for the priority-queue substrate (paper Section III-B):
+// binary heap vs Fibonacci heap on Dijkstra-shaped workloads, and the
+// two-level heap on many-searches workloads. On sparse global routing graphs
+// (m = O(n)) binary heaps win, which is why the solver uses them.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/dijkstra.h"
+#include "util/binary_heap.h"
+#include "util/fibonacci_heap.h"
+#include "util/rng.h"
+#include "util/two_level_heap.h"
+
+namespace {
+
+using namespace cdst;
+
+/// Dijkstra-shaped churn: pushes/decreases interleaved with pop_min.
+template <typename Heap>
+void churn(Heap& heap, Rng& rng, std::size_t ops, std::uint32_t id_range) {
+  double drain_guard = 0.0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    if (rng.uniform_double() < 0.6 || heap.empty()) {
+      heap.push_or_decrease(static_cast<std::uint32_t>(rng.uniform(id_range)),
+                            rng.uniform_double(0.0, 1e6));
+    } else {
+      drain_guard += heap.min_key();
+      heap.pop_min();
+    }
+  }
+  benchmark::DoNotOptimize(drain_guard);
+}
+
+void BM_BinaryHeapChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    BinaryHeap<double> heap;
+    Rng rng(1);
+    churn(heap, rng, static_cast<std::size_t>(state.range(0)), 4096);
+  }
+}
+BENCHMARK(BM_BinaryHeapChurn)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_FibonacciHeapChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    FibonacciHeap<double> heap;
+    Rng rng(1);
+    churn(heap, rng, static_cast<std::size_t>(state.range(0)), 4096);
+  }
+}
+BENCHMARK(BM_FibonacciHeapChurn)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_TwoLevelHeapChurn(benchmark::State& state) {
+  const auto groups = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    TwoLevelHeap<double> heap;
+    Rng rng(1);
+    double guard = 0.0;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      if (rng.uniform_double() < 0.6 || heap.empty()) {
+        heap.push_or_decrease(static_cast<std::uint32_t>(rng.uniform(groups)),
+                              static_cast<std::uint32_t>(rng.uniform(1024)),
+                              rng.uniform_double(0.0, 1e6));
+      } else {
+        guard += heap.pop_global_min().key;
+      }
+    }
+    benchmark::DoNotOptimize(guard);
+  }
+}
+BENCHMARK(BM_TwoLevelHeapChurn)
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 64})
+    ->Args({1 << 14, 512});
+
+void BM_DijkstraGridHeapKind(benchmark::State& state) {
+  // Full Dijkstra over a routing-grid-shaped graph (m = O(n)): the paper's
+  // III-B argument in one number — binary beats Fibonacci here.
+  const int side = 48;
+  GraphBuilder b(static_cast<std::size_t>(side) * side);
+  auto id = [side](int x, int y) {
+    return static_cast<VertexId>(y * side + x);
+  };
+  std::vector<double> len;
+  Rng grid_rng(3);
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        b.add_edge(id(x, y), id(x + 1, y));
+        len.push_back(grid_rng.uniform_double(0.5, 4.0));
+      }
+      if (y + 1 < side) {
+        b.add_edge(id(x, y), id(x, y + 1));
+        len.push_back(grid_rng.uniform_double(0.5, 4.0));
+      }
+    }
+  }
+  const Graph g(b);
+  const auto kind = state.range(0) == 0 ? DijkstraHeap::kBinary
+                                        : DijkstraHeap::kFibonacci;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(
+        g, {0}, [&](EdgeId e) { return len[e]; }, kInvalidVertex, kind));
+  }
+  state.SetLabel(state.range(0) == 0 ? "binary" : "fibonacci");
+}
+BENCHMARK(BM_DijkstraGridHeapKind)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+/// \file cost_increase_common.h
+/// Shared harness for Tables I and II: apples-to-apples comparison of the
+/// four Steiner oracles on identical cost-distance instances "as they were
+/// generated during timing-constrained global routing".
+///
+/// Flow per chip: run the Lagrangean router (CD oracle) to convergence to
+/// obtain realistic congestion prices and delay weights, then for every
+/// multi-sink net rip up its own route, materialize the exact instance the
+/// oracle saw, solve it with all four methods, and record each method's
+/// relative objective increase over the best of the four (the paper's
+/// "minimum" baseline).
+
+#pragma once
+
+#include <array>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/table.h"
+#include "route/steiner_oracle.h"
+#include "util/args.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace cdst::bench {
+
+inline int run_cost_increase_table(const char* table_name, bool with_dbif,
+                                   int argc, const char* const* argv) {
+  ArgParser args(table_name,
+                 std::string("average cost increase vs the best of "
+                             "L1/SL/PD/CD on identical instances, ") +
+                     (with_dbif ? "dbif > 0" : "dbif = 0"));
+  args.add_option("scale", "0.01", "chip net-count scale vs Table III");
+  args.add_option("chips", "3", "number of paper chips to draw instances from");
+  args.add_option("warmup-iterations", "4", "router rounds before sampling");
+  args.add_option("max-instances", "100000", "cap on sampled instances");
+  args.add_option("seed", "1", "random seed");
+  args.parse(argc, argv);
+
+  WallTimer timer;
+  const auto num_chips =
+      static_cast<std::size_t>(std::min<std::int64_t>(8, args.get_int("chips")));
+  std::vector<ChipConfig> chips = paper_chip_configs(args.get_double("scale"));
+  chips.resize(num_chips);
+
+  const auto& buckets = sink_buckets();
+  // [bucket][method] accumulators of % increase over the per-instance best.
+  std::array<std::array<StatAccumulator, 4>, 4> excess;
+  std::array<std::array<StatAccumulator, 4>, 1> excess_all;
+  std::size_t sampled = 0;
+  const auto max_instances =
+      static_cast<std::size_t>(args.get_int("max-instances"));
+
+  for (const ChipConfig& chip : chips) {
+    const RoutingGrid grid = make_chip_grid(chip);
+    const Netlist netlist = generate_netlist(chip, grid);
+    const double dbif = with_dbif ? chip_dbif(chip) : 0.0;
+
+    RouterOptions ropts;
+    ropts.method = SteinerMethod::kCD;
+    ropts.iterations = static_cast<int>(args.get_int("warmup-iterations"));
+    ropts.oracle.dbif = dbif;
+    ropts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const RouterResult warm = route_chip(grid, netlist, ropts);
+
+    // Rebuild the post-warm-up congestion state.
+    CongestionCosts costs(grid, ropts.congestion);
+    for (const auto& route : warm.routes) costs.add_usage(route, +1.0);
+
+    OracleParams params = ropts.oracle;
+    std::size_t flat = 0;
+    for (std::size_t i = 0; i < netlist.nets.size(); ++i) {
+      const Net& net = netlist.nets[i];
+      const std::size_t k = net.sinks.size();
+      const int bucket = bucket_of(k);
+      flat += k;
+      if (bucket < 0 || sampled >= max_instances) continue;
+      ++sampled;
+
+      // The instance prices edges without the net's own usage.
+      costs.add_usage(warm.routes[i], -1.0);
+      const std::vector<double> weights(
+          warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat - k),
+          warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat));
+      params.seed = ropts.seed * 7919 + net.id;
+      const OracleInstance oi(grid, costs, net, weights, params);
+
+      std::array<double, 4> objective{};
+      double best = 0.0;
+      for (std::size_t m = 0; m < 4; ++m) {
+        objective[m] = run_method(oi, all_methods()[m], params).eval.objective;
+        best = (m == 0) ? objective[m] : std::min(best, objective[m]);
+      }
+      for (std::size_t m = 0; m < 4; ++m) {
+        const double pct = best > 0.0
+                               ? 100.0 * (objective[m] / best - 1.0)
+                               : 0.0;
+        excess[static_cast<std::size_t>(bucket)][m].add(pct);
+        excess_all[0][m].add(pct);
+      }
+      costs.add_usage(warm.routes[i], +1.0);
+    }
+  }
+
+  std::printf("%s — average cost increase compared to minimum, %s\n",
+              table_name, with_dbif ? "dbif > 0" : "dbif = 0");
+  std::printf("(corpus: %zu instances from %zu scaled chips; paper: Table %s)\n\n",
+              sampled, chips.size(), with_dbif ? "II" : "I");
+  TextTable table({"|S|", "#instances", "L1", "SL", "PD", "CD"});
+  auto row = [&](const char* label,
+                 const std::array<StatAccumulator, 4>& accs) {
+    table.add_row({label, fmt_count(static_cast<long long>(accs[0].count())),
+                   fmt_double(accs[0].mean(), 2) + "%",
+                   fmt_double(accs[1].mean(), 2) + "%",
+                   fmt_double(accs[2].mean(), 2) + "%",
+                   fmt_double(accs[3].mean(), 2) + "%"});
+  };
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    row(buckets[b].label, excess[b]);
+  }
+  table.add_separator();
+  row("all", excess_all[0]);
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nwalltime: %s\n", format_hms(timer.seconds()).c_str());
+  return 0;
+}
+
+}  // namespace cdst::bench

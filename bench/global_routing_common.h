@@ -1,0 +1,87 @@
+/// \file global_routing_common.h
+/// Shared harness for Tables IV and V: full timing-constrained global
+/// routing on the eight (scaled) evaluation chips, one run per Steiner
+/// oracle, reporting WS / TNS / ACE4 / wirelength / vias / walltime.
+
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/table.h"
+#include "util/args.h"
+#include "util/timer.h"
+
+namespace cdst::bench {
+
+inline int run_global_routing_table(const char* table_name, bool with_dbif,
+                                    int argc, const char* const* argv) {
+  ArgParser args(table_name,
+                 std::string("timing-constrained global routing results, ") +
+                     (with_dbif ? "dbif > 0" : "dbif = 0"));
+  args.add_option("scale", "0.001", "chip net-count scale vs Table III");
+  args.add_option("chips", "8", "number of paper chips to route");
+  args.add_option("iterations", "5", "rip-up & re-route rounds");
+  args.add_option("seed", "1", "random seed");
+  args.parse(argc, argv);
+
+  const auto num_chips =
+      static_cast<std::size_t>(std::min<std::int64_t>(8, args.get_int("chips")));
+  std::vector<ChipConfig> chips = paper_chip_configs(args.get_double("scale"));
+  chips.resize(num_chips);
+
+  std::printf("%s — timing-constrained global routing, %s "
+              "(paper: Table %s; chips scaled by %.4g)\n\n",
+              table_name, with_dbif ? "dbif > 0" : "dbif = 0",
+              with_dbif ? "V" : "IV", args.get_double("scale"));
+
+  TextTable table({"Chip", "Run", "WS [ps]", "TNS [ps]", "ACE4 [%]",
+                   "WL [gcells]", "Vias", "Walltime"});
+  struct Totals {
+    double ws{0.0}, tns{0.0}, ace4{0.0}, wl{0.0}, secs{0.0};
+    long long vias{0};
+  };
+  std::array<Totals, 4> totals{};
+
+  for (const ChipConfig& chip : chips) {
+    const RoutingGrid grid = make_chip_grid(chip);
+    const Netlist netlist = generate_netlist(chip, grid);
+    const double dbif = with_dbif ? chip_dbif(chip) : 0.0;
+    for (std::size_t m = 0; m < 4; ++m) {
+      RouterOptions opts;
+      opts.method = all_methods()[m];
+      opts.iterations = static_cast<int>(args.get_int("iterations"));
+      opts.oracle.dbif = dbif;
+      opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      const RouterResult r = route_chip(grid, netlist, opts);
+      table.add_row(
+          {chip.name, method_name(opts.method),
+           fmt_double(r.timing.worst_slack, 0),
+           fmt_count(static_cast<long long>(r.timing.total_negative_slack)),
+           fmt_double(r.congestion.ace4, 2),
+           fmt_double(r.wires.wirelength_gcells, 0),
+           fmt_count(static_cast<long long>(r.wires.num_vias)),
+           format_hms(r.walltime_s)});
+      totals[m].ws += r.timing.worst_slack;
+      totals[m].tns += r.timing.total_negative_slack;
+      totals[m].ace4 += r.congestion.ace4 / static_cast<double>(num_chips);
+      totals[m].wl += r.wires.wirelength_gcells;
+      totals[m].vias += static_cast<long long>(r.wires.num_vias);
+      totals[m].secs += r.walltime_s;
+    }
+    table.add_separator();
+  }
+  for (std::size_t m = 0; m < 4; ++m) {
+    table.add_row({"all", method_name(all_methods()[m]),
+                   fmt_double(totals[m].ws, 0),
+                   fmt_count(static_cast<long long>(totals[m].tns)),
+                   fmt_double(totals[m].ace4, 2), fmt_double(totals[m].wl, 0),
+                   fmt_count(totals[m].vias), format_hms(totals[m].secs)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nexpected shape: CD best (or tied) WS/TNS, lowest ACE4 and "
+              "via count,\nslightly higher wirelength; L1 worst timing.\n");
+  return 0;
+}
+
+}  // namespace cdst::bench

@@ -1,0 +1,9 @@
+// Reproduces paper Table I: average cost increase compared to the best of
+// the four algorithms on identical cost-distance instances, dbif = 0.
+
+#include "cost_increase_common.h"
+
+int main(int argc, char** argv) {
+  return cdst::bench::run_cost_increase_table("table1", /*with_dbif=*/false,
+                                              argc, argv);
+}

@@ -1,0 +1,10 @@
+// Reproduces paper Table II: average cost increase compared to the best of
+// the four algorithms on identical cost-distance instances, with bifurcation
+// penalties (dbif > 0, derived from the repeater-chain model).
+
+#include "cost_increase_common.h"
+
+int main(int argc, char** argv) {
+  return cdst::bench::run_cost_increase_table("table2", /*with_dbif=*/true,
+                                              argc, argv);
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Table III: instance parameters of the evaluation chips.
+// Our chips are deterministic synthetic stand-ins for the paper's industrial
+// 5nm designs: layer counts match Table III exactly; net counts are the
+// paper's scaled by --scale (the global-routing harnesses default to 1/100).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/table.h"
+#include "util/args.h"
+
+using namespace cdst;
+
+int main(int argc, char** argv) {
+  ArgParser args("table3", "chip parameters (paper Table III, scaled)");
+  args.add_option("scale", "0.01", "net-count scale vs the paper");
+  args.parse(argc, argv);
+  const double scale = args.get_double("scale");
+
+  std::printf("table3 — instance parameters (scale %.4g of paper net counts)\n\n",
+              scale);
+  TextTable table({"Chip", "# nets", "# layers", "grid", "# sinks", "dbif [ps]"});
+  for (const ChipConfig& chip : paper_chip_configs(scale)) {
+    const RoutingGrid grid = make_chip_grid(chip);
+    const Netlist nl = generate_netlist(chip, grid);
+    table.add_row({chip.name, fmt_count(static_cast<long long>(nl.nets.size())),
+                   std::to_string(chip.num_layers),
+                   std::to_string(chip.nx) + "x" + std::to_string(chip.ny),
+                   fmt_count(static_cast<long long>(nl.num_sinks())),
+                   fmt_double(bench::chip_dbif(chip), 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\npaper net counts: c1 49 734, c2 66 500, c3 286 619, c4 305 094,\n"
+              "                  c5 420 131, c6 590 060, c7 650 127, c8 941 271\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces paper Table IV: timing-constrained global routing results with
+// dbif = 0 on the eight (scaled) evaluation chips.
+
+#include "global_routing_common.h"
+
+int main(int argc, char** argv) {
+  return cdst::bench::run_global_routing_table("table4", /*with_dbif=*/false,
+                                               argc, argv);
+}

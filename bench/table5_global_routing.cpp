@@ -1,0 +1,9 @@
+// Reproduces paper Table V: timing-constrained global routing results with
+// bifurcation penalties (dbif > 0) on the eight (scaled) evaluation chips.
+
+#include "global_routing_common.h"
+
+int main(int argc, char** argv) {
+  return cdst::bench::run_global_routing_table("table5", /*with_dbif=*/true,
+                                               argc, argv);
+}

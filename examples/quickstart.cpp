@@ -1,0 +1,74 @@
+// Quickstart: build a small global routing grid, define a net with weighted
+// sinks, and compute a cost-distance Steiner tree (paper Algorithm 1 with
+// all Section III enhancements).
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/cost_distance.h"
+#include "grid/cost_model.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "timing/repeater_chain.h"
+
+using namespace cdst;
+
+int main() {
+  // 1. A 32x32 grid with 6 routing layers. Linear delays come from an
+  //    optimally spaced repeater-chain model; dbif is derived the same way.
+  std::vector<LayerSpec> layers = make_default_layer_stack(/*num_layers=*/6);
+  const BufferSpec buffer;
+  apply_linear_delay_model(layers, buffer);
+  const double dbif = compute_dbif(layers, buffer);
+  const RoutingGrid grid(32, 32, layers, ViaSpec{1.0, 1.0, 1.5});
+
+  // 2. Congestion prices: pretend the die center is already crowded.
+  CongestionCosts costs(grid);
+  std::vector<EdgeId> hot;
+  for (EdgeId e = 0; e < grid.graph().num_edges(); ++e) {
+    const Point3 p = grid.position(grid.graph().tail(e));
+    if (p.x > 10 && p.x < 22 && p.y > 10 && p.y < 22) hot.push_back(e);
+  }
+  costs.add_usage(hot, +1.0);
+  const std::vector<double> cost = costs.edge_cost_vector();
+  const std::vector<double>& delay = grid.edge_delays();
+
+  // 3. The instance: a root, five sinks, delay weights = timing criticality.
+  CostDistanceInstance inst;
+  inst.graph = &grid.graph();
+  inst.cost = &cost;
+  inst.delay = &delay;
+  inst.root = grid.vertex_at(2, 16, 0);
+  inst.sinks = {
+      Terminal{grid.vertex_at(29, 28, 0), 4.0},  // critical sink
+      Terminal{grid.vertex_at(30, 16, 0), 0.5},
+      Terminal{grid.vertex_at(28, 3, 0), 0.5},
+      Terminal{grid.vertex_at(16, 30, 0), 0.1},
+      Terminal{grid.vertex_at(16, 2, 0), 0.1},
+  };
+  inst.dbif = dbif;
+  inst.eta = 0.25;
+
+  // 4. Solve.
+  const FutureCost fc(grid, /*num_landmarks=*/4);
+  SolverOptions opts;
+  opts.future_cost = &fc;
+  opts.seed = 1;
+  const SolveResult r = solve_cost_distance(inst, opts);
+
+  std::printf("cost-distance Steiner tree over %zu sinks (dbif = %.3f ps)\n",
+              inst.sinks.size(), dbif);
+  std::printf("  connection cost : %10.3f\n", r.eval.connection_cost);
+  std::printf("  weighted delay  : %10.3f\n", r.eval.weighted_delay);
+  std::printf("  objective       : %10.3f\n", r.eval.objective);
+  std::printf("  tree nodes      : %zu (graph edges: %zu)\n",
+              r.tree.num_nodes(), r.eval.num_graph_edges);
+  for (std::size_t s = 0; s < inst.sinks.size(); ++s) {
+    std::printf("  sink %zu: weight %.2f  delay %8.2f ps\n", s,
+                inst.sinks[s].weight, r.eval.sink_delays[s]);
+  }
+  std::printf("  labels settled  : %zu, merges: %zu\n",
+              r.stats.labels_settled, r.stats.iterations);
+  return 0;
+}

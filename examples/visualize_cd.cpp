@@ -1,0 +1,101 @@
+// Figure-3-style visualization: draws the four Section IV-A trees for one
+// net as SVG files (plane topologies and the embedded cost-distance tree).
+//
+//   ./examples/visualize_cd [--out DIR]
+
+#include <cstdio>
+
+#include "core/cost_distance.h"
+#include "embed/embedder.h"
+#include "io/svg.h"
+#include "route/netlist_gen.h"
+#include "route/steiner_oracle.h"
+#include "topology/prim_dijkstra.h"
+#include "topology/rsmt.h"
+#include "topology/shallow_light.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+using namespace cdst;
+
+int main(int argc, char** argv) {
+  ArgParser args("visualize_cd", "emit SVG drawings of the four oracles");
+  args.add_option("out", ".", "output directory");
+  args.add_option("seed", "9", "random seed");
+  args.parse(argc, argv);
+  const std::string dir = args.get_string("out");
+
+  ChipConfig chip;
+  chip.nx = chip.ny = 36;
+  chip.num_layers = 6;
+  chip.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const RoutingGrid grid = make_chip_grid(chip);
+
+  Rng rng(chip.seed);
+  Net net;
+  net.source = Point3{2, 18, 0};
+  std::vector<double> weights;
+  for (int s = 0; s < 7; ++s) {
+    net.sinks.push_back(
+        SinkPin{Point3{static_cast<std::int32_t>(6 + rng.uniform(29)),
+                       static_cast<std::int32_t>(rng.uniform(36)), 0},
+                400.0});
+    weights.push_back(std::exp(rng.uniform_double(-1.5, 2.0)));
+  }
+
+  CongestionCosts costs(grid);
+  OracleParams params;
+  params.dbif = 2.0;
+  const OracleInstance oi(grid, costs, net, weights, params);
+
+  Rect extent;
+  extent.expand(Point2{0, 0});
+  extent.expand(Point2{35, 35});
+
+  // Plane topologies.
+  const PlaneTopology l1 = rsmt_topology(oi.root_xy(), oi.plane_sinks());
+  ShallowLightParams sl;
+  sl.delay_per_unit = oi.delay_per_unit();
+  const PlaneTopology slt =
+      shallow_light_topology(oi.root_xy(), oi.plane_sinks(), sl);
+  PrimDijkstraParams pd;
+  pd.delay_per_unit = oi.delay_per_unit();
+  const PlaneTopology pdt =
+      prim_dijkstra_topology(oi.root_xy(), oi.plane_sinks(), pd);
+
+  const struct {
+    const char* name;
+    const PlaneTopology* topo;
+    const char* color;
+  } topos[] = {{"l1", &l1, "steelblue"},
+               {"sl", &slt, "darkorange"},
+               {"pd", &pdt, "seagreen"}};
+  for (const auto& t : topos) {
+    SvgCanvas canvas(extent);
+    draw_topology(canvas, *t.topo, t.color);
+    const std::string path = dir + "/topology_" + t.name + ".svg";
+    canvas.write_file(path);
+    std::printf("wrote %s (length %lld)\n", path.c_str(),
+                static_cast<long long>(t.topo->total_length()));
+  }
+
+  // Embedded cost-distance tree.
+  SolverOptions opts;
+  WindowFutureCost fc(oi.window());
+  opts.future_cost = &fc;
+  const SolveResult r = solve_cost_distance(oi.instance(), opts);
+  SvgCanvas canvas(extent);
+  // The tree lives on window vertices; draw through the full-grid ids by
+  // re-mapping each node/path (projection only needs positions).
+  SteinerTree mapped = r.tree;
+  for (auto& n : mapped.nodes) {
+    n.graph_vertex = oi.window().to_grid_vertex(n.graph_vertex);
+    for (EdgeId& e : n.up_path) e = oi.window().to_grid_edge(e);
+  }
+  draw_tree(canvas, mapped, grid, "crimson");
+  const std::string path = dir + "/tree_cd.svg";
+  canvas.write_file(path);
+  std::printf("wrote %s (objective %.3f, %zu merges)\n", path.c_str(),
+              r.eval.objective, r.stats.iterations);
+  return 0;
+}

@@ -1,0 +1,541 @@
+#include "core/cost_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "geom/nearest.h"
+#include "geom/rect.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/sparse_map.h"
+#include "util/two_level_heap.h"
+
+#include <queue>
+
+namespace cdst {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNoComp = 0xffffffffu;
+
+struct Label {
+  VertexId vertex{kInvalidVertex};
+  double g{kInf};
+  std::uint32_t parent_idx{0xffffffffu};  ///< label arena index of predecessor
+  EdgeId parent_edge{kInvalidEdge};
+  bool settled{false};
+  bool completion_pushed{false};
+};
+
+/// One Dijkstra search (one per active sink component).
+struct Search {
+  std::vector<Label> labels;          ///< arena; heap entries reference slots
+  SparseMap<std::uint32_t> index;     ///< graph vertex -> arena index + 1
+  bool active{false};
+};
+
+struct Component {
+  double weight{0.0};
+  VertexId terminal{kInvalidVertex};
+  TreeAssembler::NodeId node{TreeAssembler::kNoNode};
+  bool is_root{false};
+  bool active{false};
+  /// Whether the component's embedded tree is still a single vertex; only
+  /// then is the congestion part of the future cost admissible under the
+  /// component discount (Section III-C feasibility note).
+  bool singleton{true};
+};
+
+/// Priority-queue facade: the paper's two-level structure (III-B) or a
+/// single lazy binary heap for the ablation. Lazy mode pushes duplicates and
+/// relies on the solver's settled/stale checks to skip superseded entries,
+/// which is exactly how single-heap Dijkstra implementations work.
+class SolverQueue {
+ public:
+  struct Min {
+    std::uint32_t group;
+    std::uint32_t entry;
+    double key;
+  };
+
+  explicit SolverQueue(QueueKind kind) : kind_(kind) {}
+
+  bool empty() const {
+    return kind_ == QueueKind::kTwoLevel ? two_level_.empty() : lazy_.empty();
+  }
+
+  void push_or_decrease(std::uint32_t group, std::uint32_t entry, double key) {
+    if (kind_ == QueueKind::kTwoLevel) {
+      two_level_.push_or_decrease(group, entry, key);
+    } else {
+      lazy_.push(LazyEntry{key, group, entry});
+    }
+  }
+
+  Min pop_global_min() {
+    if (kind_ == QueueKind::kTwoLevel) {
+      const auto m = two_level_.pop_global_min();
+      return Min{m.group, m.entry, m.key};
+    }
+    const LazyEntry e = lazy_.top();
+    lazy_.pop();
+    return Min{e.group, e.entry, e.key};
+  }
+
+  /// Two-level mode drops a deactivated search's entries eagerly; lazy mode
+  /// leaves them to be skipped at pop time.
+  void erase_group(std::uint32_t group) {
+    if (kind_ == QueueKind::kTwoLevel) two_level_.erase_group(group);
+  }
+
+ private:
+  struct LazyEntry {
+    double key;
+    std::uint32_t group;
+    std::uint32_t entry;
+    bool operator>(const LazyEntry& o) const { return key > o.key; }
+  };
+
+  QueueKind kind_;
+  TwoLevelHeap<double> two_level_;
+  std::priority_queue<LazyEntry, std::vector<LazyEntry>, std::greater<>>
+      lazy_;
+};
+
+class Solver {
+ public:
+  Solver(const CostDistanceInstance& inst, const SolverOptions& opts)
+      : inst_(inst),
+        opts_(opts),
+        g_(*inst.graph),
+        c_(*inst.cost),
+        d_(*inst.delay),
+        assembler_(*inst.graph),
+        heap_(opts.queue),
+        rng_(opts.seed) {
+    astar_on_ = opts_.use_astar && opts_.future_cost != nullptr;
+    place_on_ = opts_.better_steiner_placement && opts_.future_cost != nullptr;
+  }
+
+  SolveResult run() {
+    init();
+    while (remaining_ > 0) {
+      CDST_CHECK_MSG(!heap_.empty(),
+                     "cost-distance: terminals are not connected in the graph");
+      const auto top = heap_.pop_global_min();
+      const std::uint32_t u = top.group;
+      if (u >= searches_.size() || !searches_[u].active) continue;
+      const std::uint32_t label_idx = top.entry >> 1;
+      if ((top.entry & 1u) != 0) {
+        handle_completion(u, label_idx, top.key);
+      } else {
+        settle_and_relax(u, label_idx);
+      }
+    }
+
+    SolveResult result;
+    result.tree = assembler_.finalize();
+    if (opts_.validate_result) {
+      result.tree.validate(g_, inst_.sinks.size());
+    }
+    result.eval = evaluate_tree(result.tree, inst_);
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  // ---------------------------------------------------------------- setup --
+  void init() {
+    inst_.validate();
+    const auto t = static_cast<std::uint32_t>(inst_.sinks.size());
+
+    assembler_.add_root(inst_.root);  // node 0
+    comps_.resize(t + 1);
+    dsu_parent_.resize(t + 1);
+    for (std::uint32_t i = 0; i < t; ++i) {
+      const Terminal& s = inst_.sinks[i];
+      const TreeAssembler::NodeId node =
+          assembler_.add_sink(s.vertex, static_cast<std::int32_t>(i));
+      comps_[i] = Component{s.weight, s.vertex, node, false, true, true};
+      dsu_parent_[i] = i;
+      active_sink_weight_ += s.weight;
+    }
+    root_comp_ = t;
+    comps_[t] = Component{0.0, inst_.root, 0, true, true, true};
+    dsu_parent_[t] = t;
+
+    // Terminal ownership; the root registers last so that a sink placed on
+    // the root vertex immediately sees the root as a merge target.
+    for (std::uint32_t i = 0; i < t; ++i) {
+      vertex_owner_[inst_.sinks[i].vertex] = i;
+    }
+    vertex_owner_[inst_.root] = root_comp_;
+
+    if (astar_on_) {
+      nn_ = std::make_unique<L1NearestNeighbor>(nn_bucket_size());
+      for (std::uint32_t i = 0; i <= t; ++i) {
+        nn_->insert(i, xy_of(comps_[i].terminal));
+      }
+    }
+
+    searches_.resize(t + 1);
+    for (std::uint32_t i = 0; i < t; ++i) seed_search(i);
+    remaining_ = t;
+  }
+
+  std::int32_t nn_bucket_size() const {
+    // Bucket side on the order of expected terminal spacing.
+    Rect box;
+    box.expand(xy_of(inst_.root));
+    for (const Terminal& s : inst_.sinks) box.expand(xy_of(s.vertex));
+    const double area = static_cast<double>(
+        std::max<std::int64_t>(1, box.width() * box.height()));
+    const double spacing =
+        std::sqrt(area / static_cast<double>(inst_.sinks.size() + 1));
+    return std::max<std::int32_t>(2, static_cast<std::int32_t>(spacing));
+  }
+
+  Point2 xy_of(VertexId v) const { return opts_.future_cost->xy(v); }
+
+  // ------------------------------------------------------------ ownership --
+  std::uint32_t resolve(std::uint32_t comp) {
+    while (dsu_parent_[comp] != comp) {
+      dsu_parent_[comp] = dsu_parent_[dsu_parent_[comp]];
+      comp = dsu_parent_[comp];
+    }
+    return comp;
+  }
+
+  std::uint32_t owner_of(VertexId v) {
+    const std::uint32_t* p = vertex_owner_.find(v);
+    return p == nullptr ? kNoComp : resolve(*p);
+  }
+
+  bool edge_discounted(EdgeId e, std::uint32_t comp) {
+    if (!opts_.discount_components) return false;
+    const std::uint32_t* p = edge_owner_.find(e);
+    return p != nullptr && resolve(*p) == comp;
+  }
+
+  // --------------------------------------------------------------- search --
+  void seed_search(std::uint32_t comp) {
+    if (comp >= searches_.size()) searches_.resize(comp + 1);
+    Search& s = searches_[comp];
+    s.active = true;
+    s.labels.clear();
+    s.labels.push_back(Label{comps_[comp].terminal, 0.0, 0xffffffffu,
+                             kInvalidEdge, false, false});
+    s.index[comps_[comp].terminal] = 1;  // arena index 0, stored +1
+    heap_.push_or_decrease(comp, 0, future_bound(comp, comps_[comp].terminal));
+  }
+
+  void deactivate_search(std::uint32_t comp) {
+    if (comp >= searches_.size() || !searches_[comp].active) return;
+    searches_[comp].active = false;
+    searches_[comp].labels = {};
+    searches_[comp].index = SparseMap<std::uint32_t>{};
+    heap_.erase_group(comp);
+  }
+
+  /// Admissible lower bound h_u(x) on the remaining search metric from x to
+  /// the nearest active target (Section III-C).
+  double future_bound(std::uint32_t comp, VertexId x) {
+    if (!astar_on_) return 0.0;
+    const FutureCostOracle& fc = *opts_.future_cost;
+    const double w = comps_[comp].weight;
+    const bool cost_ok = comps_[comp].singleton;  // discount feasibility
+
+    // Root target: exact vertex known, strongest bound (ALT-capable).
+    const VertexId rootv = comps_[root_comp_].terminal;
+    double h = w * fc.delay_lb(x, rootv);
+    if (cost_ok) h += fc.cost_lb(x, rootv);
+
+    // Nearest other terminal in the plane.
+    const auto near = nn_->nearest(xy_of(x), comp);
+    if (near.found) {
+      const double dist = static_cast<double>(near.distance);
+      double ht = dist * w * fc.min_unit_delay();
+      if (cost_ok) ht += dist * fc.min_unit_cost();
+      h = std::min(h, ht);
+    }
+    return h;
+  }
+
+  /// b(u, v) of the paper: optimally balanced weighted bifurcation penalty,
+  /// with the Section III-E root discount.
+  double b_value(std::uint32_t u, std::uint32_t o) {
+    if (inst_.dbif <= 0.0) return 0.0;
+    const double wu = comps_[u].weight;
+    if (comps_[o].is_root) {
+      const double rest = std::max(0.0, active_sink_weight_ - wu);
+      double b = bifurcation_beta(wu, rest, inst_.dbif, inst_.eta);
+      if (opts_.encourage_root) {
+        b -= inst_.eta * inst_.dbif * wu;  // future saving of a root merge
+      }
+      return std::max(0.0, b);
+    }
+    return bifurcation_beta(wu, comps_[o].weight, inst_.dbif, inst_.eta);
+  }
+
+  void settle_and_relax(std::uint32_t u, std::uint32_t label_idx) {
+    Search& su = searches_[u];
+    Label& lab = su.labels[label_idx];
+    if (lab.settled) return;
+    lab.settled = true;
+    ++stats_.labels_settled;
+
+    // Reaching another component's vertex creates a completion candidate
+    // keyed by dist + b(u, v) ("whenever we enter a vertex v in S_i + r_i,
+    // we add the optimally balanced weighted node delay", Theorem 1 proof).
+    const std::uint32_t o = owner_of(lab.vertex);
+    if (o != kNoComp && o != u) {
+      if (comps_[o].active && !lab.completion_pushed) {
+        lab.completion_pushed = true;
+        heap_.push_or_decrease(u, label_idx * 2 + 1, lab.g + b_value(u, o));
+      }
+      // Foreign components are merge targets, never transit: expanding
+      // through them would let later merge paths overwrite the (single-
+      // valued) ownership and location maps, corrupting the structure.
+      // Completing at the first touch realizes the end-side discount of
+      // Section III-A anyway.
+      return;
+    }
+
+    const double w = comps_[u].weight;
+    const VertexId vtx = lab.vertex;
+    const double base_g = lab.g;
+    for (const Graph::Arc& a : g_.arcs(vtx)) {
+      const double cost = edge_discounted(a.edge, u) ? 0.0 : c_[a.edge];
+      const double ng = base_g + cost + w * d_[a.edge];
+      std::uint32_t& slot = searches_[u].index[a.to];
+      if (slot == 0) {
+        searches_[u].labels.push_back(
+            Label{a.to, ng, label_idx, a.edge, false, false});
+        slot = static_cast<std::uint32_t>(searches_[u].labels.size());
+        heap_.push_or_decrease(u, (slot - 1) * 2,
+                               ng + future_bound(u, a.to));
+        ++stats_.labels_relaxed;
+      } else {
+        Label& nl = searches_[u].labels[slot - 1];
+        if (!nl.settled && ng < nl.g) {
+          nl.g = ng;
+          nl.parent_idx = label_idx;
+          nl.parent_edge = a.edge;
+          heap_.push_or_decrease(u, (slot - 1) * 2,
+                                 ng + future_bound(u, a.to));
+          ++stats_.labels_relaxed;
+        }
+      }
+    }
+  }
+
+  void handle_completion(std::uint32_t u, std::uint32_t label_idx,
+                         double popped_key) {
+    ++stats_.completions_popped;
+    Search& su = searches_[u];
+    const Label& lab = su.labels[label_idx];
+    const std::uint32_t o = owner_of(lab.vertex);
+    if (o == kNoComp || o == u || !comps_[o].active) {
+      ++stats_.completions_stale;
+      return;
+    }
+    // Components merge and the active sink weight shrinks over time, so the
+    // stored key may be stale; re-validate lazily.
+    const double true_key = lab.g + b_value(u, o);
+    if (true_key > popped_key + 1e-9) {
+      heap_.push_or_decrease(u, label_idx * 2 + 1, true_key);
+      ++stats_.completions_stale;
+      return;
+    }
+    merge(u, label_idx, o);
+  }
+
+  // ---------------------------------------------------------------- merge --
+  void merge(std::uint32_t u, std::uint32_t label_idx, std::uint32_t o) {
+    ++stats_.iterations;
+    Search& su = searches_[u];
+
+    // Reconstruct the search path seed -> labelled vertex.
+    std::vector<VertexId> pverts;
+    std::vector<EdgeId> pedges;
+    for (std::uint32_t cur = label_idx;;) {
+      const Label& l = su.labels[cur];
+      pverts.push_back(l.vertex);
+      if (l.parent_idx == 0xffffffffu) break;
+      pedges.push_back(l.parent_edge);
+      cur = l.parent_idx;
+    }
+    std::reverse(pverts.begin(), pverts.end());
+    std::reverse(pedges.begin(), pedges.end());
+
+    // Trim the prefix that runs inside u's own tree (those edges already
+    // exist; the search traverses them at zero connection cost under the
+    // III-A discount) and stop at the first touch of a foreign component —
+    // ownership may have shifted since labels were created, so the actual
+    // partner can differ from o.
+    std::size_t istar = 0;
+    for (std::size_t i = 0; i < pverts.size(); ++i) {
+      if (owner_of(pverts[i]) == u) istar = i;
+    }
+    std::size_t j = pverts.size() - 1;
+    for (std::size_t i = istar + 1; i < pverts.size(); ++i) {
+      const std::uint32_t oi = owner_of(pverts[i]);
+      if (oi != kNoComp && oi != u && comps_[oi].active) {
+        j = i;
+        break;
+      }
+    }
+    o = owner_of(pverts[j]);
+    CDST_ASSERT(o != kNoComp && o != u && comps_[o].active);
+
+    // Structural attachment (splits embedded segments as needed). Terminal
+    // vertices may be shared by several components, and the assembler's
+    // location map keeps only the last writer — attach through the
+    // component's own recorded node in that case.
+    const TreeAssembler::NodeId na =
+        (istar == 0) ? comps_[u].node : assembler_.node_at(pverts[istar]);
+    const TreeAssembler::NodeId nb = (pverts[j] == comps_[o].terminal)
+                                         ? comps_[o].node
+                                         : assembler_.node_at(pverts[j]);
+    CDST_CHECK(na != TreeAssembler::kNoNode && nb != TreeAssembler::kNoNode);
+    const std::vector<EdgeId> seg(pedges.begin() + static_cast<std::ptrdiff_t>(istar),
+                                  pedges.begin() + static_cast<std::ptrdiff_t>(j));
+    if (na != nb) assembler_.add_segment(na, nb, seg);
+
+    // New merged component.
+    const auto s = static_cast<std::uint32_t>(comps_.size());
+    comps_.push_back(Component{});
+    dsu_parent_.push_back(s);
+    Component& cs = comps_.back();
+    const bool root_merge = comps_[o].is_root;
+    cs.active = true;
+    cs.is_root = root_merge;
+    cs.singleton = false;
+    if (root_merge) {
+      // Line 5: the root component absorbs u; the root position persists.
+      cs.terminal = comps_[o].terminal;
+      cs.node = comps_[o].node;
+      cs.weight = comps_[u].weight;
+      active_sink_weight_ -= comps_[u].weight;
+    } else {
+      cs.weight = comps_[u].weight + comps_[o].weight;
+      const VertexId pos = choose_steiner_position(u, o, pverts, pedges,
+                                                   istar, j);
+      // Same last-writer caveat as above: map component terminals to their
+      // own structural nodes.
+      if (pos == comps_[u].terminal) {
+        cs.node = comps_[u].node;
+      } else if (pos == comps_[o].terminal) {
+        cs.node = comps_[o].node;
+      } else {
+        cs.node = assembler_.node_at(pos);
+      }
+      CDST_CHECK(cs.node != TreeAssembler::kNoNode);
+      cs.terminal = pos;
+    }
+
+    // Ownership updates: the new path belongs to s; old components resolve
+    // to s through the DSU. Interior path vertices are always unowned here
+    // (searches never expand through foreign components), so these writes
+    // never clobber another component's registration.
+    for (std::size_t i = istar; i <= j; ++i) vertex_owner_[pverts[i]] = s;
+    for (const EdgeId e : seg) edge_owner_[e] = s;
+    dsu_parent_[u] = s;
+    dsu_parent_[o] = s;
+    comps_[u].active = false;
+    comps_[o].active = false;
+    if (root_merge) root_comp_ = s;
+
+    deactivate_search(u);
+    if (!comps_[o].is_root) deactivate_search(o);
+
+    if (astar_on_) {
+      if (nn_->active(u)) nn_->erase(u);
+      if (nn_->active(o)) nn_->erase(o);
+      nn_->insert(s, xy_of(cs.terminal));
+    }
+
+    --remaining_;
+    if (!root_merge) seed_search(s);
+
+    CDST_LOG(kDebug) << "merge comp " << u << " + " << o << " -> " << s
+                     << (root_merge ? " (root)" : "") << ", path edges "
+                     << seg.size() << ", remaining " << remaining_;
+  }
+
+  /// Section III-D (with future costs) or the randomized line-7 rule:
+  /// position of the new Steiner vertex / component terminal.
+  VertexId choose_steiner_position(std::uint32_t u, std::uint32_t o,
+                                   const std::vector<VertexId>& pverts,
+                                   const std::vector<EdgeId>& pedges,
+                                   std::size_t istar, std::size_t j) {
+    const double wu = comps_[u].weight;
+    const double wo = comps_[o].weight;
+    if (place_on_ && j > istar) {
+      // Minimize  c(Q) + (wu+wo) d(Q) + wu d(P[au,s]) + wo d(P[s,ao])
+      // with the s-root path Q estimated by future costs.
+      const FutureCostOracle& fc = *opts_.future_cost;
+      const VertexId rootv = comps_[root_comp_].terminal;
+      const double wsum = wu + wo;
+      double prefix = 0.0;
+      double total = 0.0;
+      for (std::size_t i = istar; i < j; ++i) total += d_[pedges[i]];
+      double best = kInf;
+      VertexId best_v = pverts[istar];
+      for (std::size_t i = istar; i <= j; ++i) {
+        if (i > istar) prefix += d_[pedges[i - 1]];
+        const VertexId v = pverts[i];
+        const double score = fc.cost_lb(v, rootv) +
+                             wsum * fc.delay_lb(v, rootv) + wu * prefix +
+                             wo * (total - prefix);
+        if (score < best) {
+          best = score;
+          best_v = v;
+        }
+      }
+      return best_v;
+    }
+    // Line 7: random choice proportional to delay weights; the heavier
+    // terminal is more likely to carry the Steiner vertex.
+    const double sum = wu + wo;
+    const double pu = sum > 0.0 ? wu / sum : 0.5;
+    return rng_.bernoulli(pu) ? comps_[u].terminal : comps_[o].terminal;
+  }
+
+  // ----------------------------------------------------------------- data --
+  const CostDistanceInstance& inst_;
+  const SolverOptions& opts_;
+  const Graph& g_;
+  const std::vector<double>& c_;
+  const std::vector<double>& d_;
+
+  TreeAssembler assembler_;
+  SolverQueue heap_;
+  Rng rng_;
+  bool astar_on_{false};
+  bool place_on_{false};
+
+  std::vector<Component> comps_;
+  std::vector<std::uint32_t> dsu_parent_;
+  std::vector<Search> searches_;
+  SparseMap<std::uint32_t> vertex_owner_;
+  SparseMap<std::uint32_t> edge_owner_;
+  std::unique_ptr<L1NearestNeighbor> nn_;
+
+  std::uint32_t root_comp_{0};
+  std::uint32_t remaining_{0};
+  double active_sink_weight_{0.0};
+  SolveStats stats_;
+};
+
+}  // namespace
+
+SolveResult solve_cost_distance(const CostDistanceInstance& instance,
+                                const SolverOptions& options) {
+  Solver solver(instance, options);
+  return solver.run();
+}
+
+}  // namespace cdst

@@ -1,0 +1,82 @@
+/// \file cost_distance.h
+/// The fast cost-distance Steiner tree approximation algorithm (Algorithm 1)
+/// with the practical enhancements of Section III.
+///
+/// The algorithm merges components Kruskal-style: every active component runs
+/// a Dijkstra search under its own metric l_u(e) = c(e) + w(u) * d(e); when a
+/// search permanently labels a vertex of another component, a completion
+/// label keyed by dist + b(u, v) (the optimally balanced bifurcation penalty)
+/// enters the queue, and the globally cheapest completion determines the pair
+/// minimizing L(u, v) of Eq. (5). Merged components continue as a single
+/// component whose Steiner vertex is placed randomly proportional to delay
+/// weights (line 7) or by the future-cost guided rule of Section III-D.
+///
+/// Expected approximation factor: O(log t) (Theorem 6); running time
+/// O(t (n log n + m)) (Theorem 1).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/future_oracle.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/steiner_tree.h"
+
+namespace cdst {
+
+/// Priority-queue organization for the simultaneous searches.
+enum class QueueKind : std::uint8_t {
+  /// Section III-B: one binary heap per active search plus a top-level heap
+  /// over the per-search minima (the paper's structure; default).
+  kTwoLevel,
+  /// A single global binary heap with lazy deletion; the classic baseline
+  /// the two-level structure is measured against (see the ablation bench).
+  kSingleLazy,
+};
+
+struct SolverOptions {
+  /// III-A: travel own-component tree edges at zero connection cost.
+  bool discount_components{true};
+  /// III-C: goal-oriented (A*) search with admissible future costs.
+  /// Requires `future_cost`; silently disabled otherwise.
+  bool use_astar{true};
+  /// III-D: place the new Steiner vertex on the connection path at the
+  /// future-cost-optimal point instead of a random terminal position.
+  /// Requires `future_cost`; falls back to the random rule otherwise.
+  bool better_steiner_placement{true};
+  /// III-E: discount root-connection penalties by eta * dbif * w(u).
+  bool encourage_root{true};
+  /// Validate the produced tree structure against the graph (cheap; on by
+  /// default).
+  bool validate_result{true};
+
+  /// III-B: heap organization of the label queues.
+  QueueKind queue{QueueKind::kTwoLevel};
+
+  /// Geometry-aware lower bounds; also provides plane positions for A*
+  /// targets. May be nullptr for generic graphs.
+  const FutureCostOracle* future_cost{nullptr};
+
+  std::uint64_t seed{1};
+};
+
+struct SolveStats {
+  std::size_t iterations{0};        ///< number of merges performed
+  std::size_t labels_settled{0};    ///< permanent Dijkstra labels
+  std::size_t labels_relaxed{0};    ///< label improvements pushed
+  std::size_t completions_popped{0};
+  std::size_t completions_stale{0};
+};
+
+struct SolveResult {
+  SteinerTree tree;
+  TreeEvaluation eval;
+  SolveStats stats;
+};
+
+/// Runs Algorithm 1 on the instance. Deterministic given options.seed.
+SolveResult solve_cost_distance(const CostDistanceInstance& instance,
+                                const SolverOptions& options = {});
+
+}  // namespace cdst

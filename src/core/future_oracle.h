@@ -1,0 +1,36 @@
+/// \file future_oracle.h
+/// Geometry / future-cost interface consumed by the cost-distance solver's
+/// goal-oriented search (Section III-C) and Steiner placement (III-D).
+///
+/// Vertex ids are those of the *solver's* graph — the full routing grid or a
+/// routing window (subgraph); implementations translate accordingly
+/// (grid::FutureCost, grid::WindowFutureCost).
+
+#pragma once
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace cdst {
+
+class FutureCostOracle {
+ public:
+  virtual ~FutureCostOracle() = default;
+
+  /// Plane position of a vertex (for L1 nearest-target bounds).
+  virtual Point2 xy(VertexId v) const = 0;
+
+  /// Admissible lower bound on the congestion cost of any a-b path.
+  virtual double cost_lb(VertexId a, VertexId b) const = 0;
+
+  /// Admissible lower bound on the delay of any a-b path.
+  virtual double delay_lb(VertexId a, VertexId b) const = 0;
+
+  /// Cheapest congestion cost per plane unit (any layer/wire type).
+  virtual double min_unit_cost() const = 0;
+
+  /// Fastest delay per plane unit (any layer/wire type).
+  virtual double min_unit_delay() const = 0;
+};
+
+}  // namespace cdst

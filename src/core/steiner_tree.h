@@ -1,0 +1,131 @@
+/// \file steiner_tree.h
+/// Embedded Steiner trees and their incremental assembly.
+///
+/// A SteinerTree is an arborescence over structural nodes (root, sinks,
+/// Steiner points); each non-root node stores the embedded path of graph
+/// edges up to its parent. The assembler supports what Algorithm 1 needs:
+/// adding a connection path between two existing components, *splitting* an
+/// embedded segment when a path attaches in its interior ("implicitly places
+/// Steiner vertices at the points where the path leaves or enters the
+/// connected components", Section III-A), and final normalization to a
+/// bifurcation-compatible tree (root and sinks are leaves, internal degree
+/// <= 3, realized by stacking zero-length Steiner nodes at shared positions).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "graph/graph.h"
+#include "util/sparse_map.h"
+
+namespace cdst {
+
+enum class NodeKind : std::uint8_t { kRoot, kSink, kSteiner };
+
+/// Final, immutable embedded Steiner tree (an r-arborescence).
+struct SteinerTree {
+  struct Node {
+    VertexId graph_vertex{kInvalidVertex};
+    std::int32_t parent{-1};       ///< node index; -1 for the root
+    std::int32_t sink_index{-1};   ///< index into instance sinks, or -1
+    NodeKind kind{NodeKind::kSteiner};
+    /// Graph edges from this node's vertex up to the parent's vertex,
+    /// ordered starting at this node. Empty for the root and for stacked
+    /// (zero-length) Steiner nodes.
+    std::vector<EdgeId> up_path;
+  };
+
+  std::vector<Node> nodes;  ///< nodes[0] is the root
+  std::vector<std::vector<std::int32_t>> children;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+
+  /// All graph edges of the tree (each exactly once if the tree is valid).
+  std::vector<EdgeId> all_edges() const;
+
+  /// Checks structural soundness against the graph: parent paths connect the
+  /// right vertices, every sink appears exactly once, out-degrees <= 2,
+  /// root out-degree <= 1, no graph edge used twice. Throws on violation.
+  /// `allow_shared_edges` relaxes the edge-reuse check for embeddings of
+  /// fixed topologies, which may legitimately route two topology edges over
+  /// the same graph edge (paying its cost twice).
+  void validate(const Graph& g, std::size_t num_sinks,
+                bool allow_shared_edges = false) const;
+};
+
+/// Incremental tree assembly used by the cost-distance solver and the
+/// topology embedder.
+class TreeAssembler {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = 0xffffffffu;
+
+  explicit TreeAssembler(const Graph& g) : graph_(&g) {}
+
+  /// Registers the root terminal; must be called exactly once, first.
+  NodeId add_root(VertexId v);
+
+  /// Registers a sink terminal node.
+  NodeId add_sink(VertexId v, std::int32_t sink_index);
+
+  /// Adds a free-standing Steiner node (used by the embedder).
+  NodeId add_steiner(VertexId v);
+
+  /// Connects two existing nodes with an embedded path (edge ids, ordered
+  /// from a to b; may be empty if both nodes share a vertex).
+  void add_segment(NodeId a, NodeId b, const std::vector<EdgeId>& path);
+
+  /// Returns a node located at graph vertex v, creating a Steiner node by
+  /// splitting an embedded segment if v currently lies in a segment
+  /// interior. Returns kNoNode if v is not part of the assembled structure.
+  NodeId node_at(VertexId v);
+
+  /// Whether graph vertex v lies on the assembled structure.
+  bool covers(VertexId v) const;
+
+  VertexId vertex_of(NodeId n) const { return nodes_[n].v; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Orients the structure as an arborescence from the root, normalizes it
+  /// to a bifurcation-compatible tree and returns the result.
+  /// Throws if the structure is disconnected or cyclic.
+  SteinerTree finalize() const;
+
+ private:
+  struct NodeRec {
+    VertexId v{kInvalidVertex};
+    NodeKind kind{NodeKind::kSteiner};
+    std::int32_t sink_index{-1};
+    std::vector<std::uint32_t> segs;
+  };
+
+  struct Seg {
+    NodeId a{kNoNode};
+    NodeId b{kNoNode};
+    std::vector<EdgeId> edges;    ///< ordered a -> b
+    std::vector<VertexId> verts;  ///< edges.size() + 1 vertices, a -> b
+  };
+
+  /// Where a graph vertex lives in the structure.
+  struct Loc {
+    NodeId node{kNoNode};
+    std::uint32_t seg{0xffffffffu};
+    std::uint32_t offset{0};  ///< index into Seg::verts
+    bool is_node() const { return node != kNoNode; }
+  };
+
+  NodeId new_node(VertexId v, NodeKind kind, std::int32_t sink_index);
+  NodeId split_segment(std::uint32_t seg_id, std::uint32_t offset);
+  void reindex_segment(std::uint32_t seg_id);
+
+  const Graph* graph_;
+  std::vector<NodeRec> nodes_;
+  std::vector<Seg> segs_;
+  SparseMap<Loc> loc_;
+  NodeId root_{kNoNode};
+};
+
+}  // namespace cdst

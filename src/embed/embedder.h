@@ -1,0 +1,39 @@
+/// \file embedder.h
+/// Optimal embedding of a fixed plane topology into the global routing graph
+/// ("Then, this tree is embedded optimally into the global routing graph
+/// minimizing the cost-distance objective (1) using a Dijkstra-style
+/// embedding as described in [13]", Section IV-A).
+///
+/// Dynamic program over the topology: for each node i with subtree delay
+/// weight W_i, the table F_i(v) is the cheapest cost of embedding i's subtree
+/// with i placed at graph vertex v. Children tables propagate through one
+/// potential-seeded Dijkstra per node under the metric c + W_i * d — an edge
+/// above node i delays every sink below it, hence the weight multiplier.
+/// Bifurcation penalties are position-independent constants per topology and
+/// are accounted by the objective evaluator.
+
+#pragma once
+
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/steiner_tree.h"
+#include "topology/topology.h"
+
+namespace cdst {
+
+struct EmbedResult {
+  SteinerTree tree;
+  TreeEvaluation eval;
+};
+
+/// Embeds `topo` (whose sink_index fields refer to instance sinks) optimally
+/// into instance.graph w.r.t. objective (1)+(3). The topology structure is
+/// fixed; Steiner node positions float freely in the graph.
+///
+/// Note: with a poorly matched topology the optimal embedding may route two
+/// topology edges over the same graph edge; the objective then pays c(e)
+/// per use (multiset semantics), exactly what the router would pay in usage.
+EmbedResult embed_topology(const PlaneTopology& topo,
+                           const CostDistanceInstance& instance);
+
+}  // namespace cdst

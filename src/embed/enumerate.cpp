@@ -1,0 +1,115 @@
+#include "embed/enumerate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdst {
+namespace {
+
+/// Unrooted binary trees over labeled leaves 0..k-1 (leaf 0 = root),
+/// represented by edge lists over ids: leaves 0..k-1, internals k, k+1, ...
+/// Built by the classic leaf-insertion recursion: leaf j (j >= 2) subdivides
+/// any existing edge, which generates every topology exactly once.
+struct EdgeTree {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  std::int32_t next_internal{0};
+};
+
+void enumerate_rec(EdgeTree& t, std::size_t next_leaf, std::size_t k,
+                   std::vector<EdgeTree>& out) {
+  if (next_leaf == k) {
+    out.push_back(t);
+    return;
+  }
+  const std::size_t m = t.edges.size();
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto [a, b] = t.edges[e];
+    const std::int32_t mid = t.next_internal++;
+    // Subdivide edge e with `mid` and hang the new leaf off it.
+    t.edges[e] = {a, mid};
+    t.edges.push_back({mid, b});
+    t.edges.push_back({mid, static_cast<std::int32_t>(next_leaf)});
+    enumerate_rec(t, next_leaf + 1, k, out);
+    // Undo.
+    t.edges.pop_back();
+    t.edges.pop_back();
+    t.edges[e] = {a, b};
+    --t.next_internal;
+  }
+}
+
+PlaneTopology to_rooted(const EdgeTree& t, std::size_t k) {
+  // Adjacency over ids (leaves 0..k-1, internals k..).
+  std::int32_t max_id = 0;
+  for (const auto& [a, b] : t.edges) max_id = std::max({max_id, a, b});
+  std::vector<std::vector<std::int32_t>> adj(
+      static_cast<std::size_t>(max_id) + 1);
+  for (const auto& [a, b] : t.edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  PlaneTopology topo;
+  std::vector<std::int32_t> out_index(adj.size(), -1);
+  // BFS from leaf 0 (the root terminal).
+  std::vector<std::int32_t> queue{0};
+  out_index[0] = 0;
+  topo.nodes.push_back(PlaneTopology::Node{Point2{}, -1, -1});
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::int32_t v = queue[qi];
+    for (const std::int32_t u : adj[static_cast<std::size_t>(v)]) {
+      if (out_index[static_cast<std::size_t>(u)] != -1) continue;
+      const std::int32_t sink_index =
+          (u >= 1 && u < static_cast<std::int32_t>(k)) ? u - 1 : -1;
+      topo.nodes.push_back(
+          PlaneTopology::Node{Point2{}, out_index[static_cast<std::size_t>(v)],
+                              sink_index});
+      out_index[static_cast<std::size_t>(u)] =
+          static_cast<std::int32_t>(topo.nodes.size() - 1);
+      queue.push_back(u);
+    }
+  }
+  return topo;
+}
+
+}  // namespace
+
+std::vector<PlaneTopology> enumerate_binary_topologies(std::size_t num_sinks) {
+  CDST_CHECK(num_sinks >= 1);
+  const std::size_t k = num_sinks + 1;  // leaves including the root
+  std::vector<EdgeTree> raw;
+  EdgeTree t;
+  t.edges.push_back({0, 1});
+  t.next_internal = static_cast<std::int32_t>(k);
+  if (k == 2) {
+    raw.push_back(t);
+  } else {
+    enumerate_rec(t, 2, k, raw);
+  }
+  std::vector<PlaneTopology> out;
+  out.reserve(raw.size());
+  for (const EdgeTree& e : raw) out.push_back(to_rooted(e, k));
+  return out;
+}
+
+ExactResult solve_exact(const CostDistanceInstance& instance,
+                        std::size_t max_sinks) {
+  instance.validate();
+  CDST_CHECK_MSG(instance.sinks.size() <= max_sinks,
+                 "instance too large for exhaustive topology enumeration");
+  const std::vector<PlaneTopology> topologies =
+      enumerate_binary_topologies(instance.sinks.size());
+  ExactResult best;
+  best.num_topologies = topologies.size();
+  double best_obj = std::numeric_limits<double>::infinity();
+  for (const PlaneTopology& topo : topologies) {
+    EmbedResult r = embed_topology(topo, instance);
+    if (r.eval.objective < best_obj) {
+      best_obj = r.eval.objective;
+      best.tree = std::move(r.tree);
+      best.eval = r.eval;
+    }
+  }
+  return best;
+}
+
+}  // namespace cdst

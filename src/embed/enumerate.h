@@ -1,0 +1,37 @@
+/// \file enumerate.h
+/// Exact oracle for small cost-distance instances.
+///
+/// Every bifurcation-compatible Steiner tree contracts (by suppressing
+/// degree-2 Steiner vertices, which carry no penalty) to an unrooted binary
+/// topology whose leaves are the root and the sinks. Enumerating all
+/// (2(t+1) - 5)!! such topologies and embedding each optimally therefore
+/// yields the true optimum of objective (1)+(3). Used by tests to measure
+/// the solver's empirical approximation ratio and by documentation examples.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "embed/embedder.h"
+
+namespace cdst {
+
+struct ExactResult {
+  SteinerTree tree;
+  TreeEvaluation eval;
+  std::size_t num_topologies{0};
+};
+
+/// All unrooted binary leaf-labeled topologies over {root} + t sinks,
+/// returned rooted at the root terminal. t >= 1.
+std::vector<PlaneTopology> enumerate_binary_topologies(std::size_t num_sinks);
+
+/// Optimal cost-distance Steiner tree by exhaustive topology enumeration.
+/// Rejects instances with more than `max_sinks` sinks (the topology count is
+/// (2t-3)!! and embedding each costs t Dijkstras).
+ExactResult solve_exact(const CostDistanceInstance& instance,
+                        std::size_t max_sinks = 6);
+
+}  // namespace cdst

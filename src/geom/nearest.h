@@ -1,0 +1,168 @@
+/// \file nearest.h
+/// L1 nearest-neighbour queries over a dynamic (shrinking) point set.
+///
+/// The goal-oriented path searches (paper Section III-C) need, per label
+/// relaxation, a lower bound on the distance to the nearest *active* terminal
+/// position. Terminal positions only disappear as components merge, so a
+/// bucket grid with lazy deletion suffices: queries expand rings of buckets
+/// around the query point until the best candidate can no longer improve.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/assert.h"
+
+namespace cdst {
+
+/// Bucketed L1 nearest-neighbour structure over 2D integer points.
+/// Points are identified by caller-chosen dense ids so they can be
+/// deactivated in O(1).
+class L1NearestNeighbor {
+ public:
+  /// \param bucket_size side length of square buckets in grid units.
+  explicit L1NearestNeighbor(std::int32_t bucket_size = 8)
+      : bucket_size_(std::max(1, bucket_size)) {}
+
+  /// Inserts point p with identifier id. Ids must be unique.
+  void insert(std::uint32_t id, const Point2& p) {
+    if (id >= points_.size()) {
+      points_.resize(static_cast<std::size_t>(id) + 1,
+                     Entry{Point2{}, false});
+    }
+    CDST_ASSERT(!points_[id].active);
+    points_[id] = Entry{p, true};
+    bucket_of(p).push_back(id);
+    ++active_count_;
+  }
+
+  /// Lazily removes id (bucket entries are skipped at query time).
+  void erase(std::uint32_t id) {
+    CDST_ASSERT(id < points_.size() && points_[id].active);
+    points_[id].active = false;
+    --active_count_;
+  }
+
+  bool active(std::uint32_t id) const {
+    return id < points_.size() && points_[id].active;
+  }
+
+  std::size_t active_count() const { return active_count_; }
+
+  struct Result {
+    std::uint32_t id{0xffffffffu};
+    std::int64_t distance{std::numeric_limits<std::int64_t>::max()};
+    bool found{false};
+  };
+
+  /// Nearest active point to q, optionally excluding one id.
+  Result nearest(const Point2& q,
+                 std::uint32_t exclude_id = 0xffffffffu) const {
+    Result best;
+    if (active_count_ == 0 ||
+        (active_count_ == 1 && active(exclude_id))) {
+      return best;
+    }
+    const std::int32_t qbx = bucket_coord(q.x);
+    const std::int32_t qby = bucket_coord(q.y);
+    // Expand square rings of buckets. A ring at radius r contains all points
+    // with L1 distance >= (r-1)*bucket_size from q, so once the best found
+    // distance is below that bound we can stop. The query point may lie
+    // outside the occupied bucket extent, so size the sweep to reach every
+    // occupied bucket from the query bucket.
+    const std::int32_t max_ring =
+        std::max({qbx - lo_x_, hi_x_ - qbx, qby - lo_y_, hi_y_ - qby}) + 1;
+    for (std::int32_t r = 0; r <= max_ring; ++r) {
+      const std::int64_t ring_lb =
+          static_cast<std::int64_t>(std::max(0, r - 1)) * bucket_size_;
+      if (best.found && best.distance <= ring_lb) break;
+      visit_ring(qbx, qby, r, [&](const std::vector<std::uint32_t>& bucket) {
+        for (const std::uint32_t id : bucket) {
+          if (!points_[id].active || id == exclude_id) continue;
+          const std::int64_t d = l1_distance(points_[id].p, q);
+          if (d < best.distance) {
+            best = Result{id, d, true};
+          }
+        }
+      });
+    }
+    return best;
+  }
+
+  /// Distance to the nearest active point (max() if none).
+  std::int64_t nearest_distance(const Point2& q,
+                                std::uint32_t exclude_id = 0xffffffffu) const {
+    return nearest(q, exclude_id).distance;
+  }
+
+ private:
+  struct Entry {
+    Point2 p;
+    bool active{false};
+  };
+
+  std::int32_t bucket_coord(std::int32_t v) const {
+    // Floor division for negatives.
+    return v >= 0 ? v / bucket_size_ : -((-v + bucket_size_ - 1) / bucket_size_);
+  }
+
+  std::vector<std::uint32_t>& bucket_of(const Point2& p) {
+    const std::int64_t key =
+        (static_cast<std::int64_t>(bucket_coord(p.x)) << 24) ^
+        (bucket_coord(p.y) & 0xffffff);
+    for (auto& [k, b] : buckets_) {
+      if (k == key) return b;
+    }
+    buckets_.emplace_back(key, std::vector<std::uint32_t>{});
+    track_extent(bucket_coord(p.x), bucket_coord(p.y));
+    return buckets_.back().second;
+  }
+
+  const std::vector<std::uint32_t>* find_bucket(std::int32_t bx,
+                                                std::int32_t by) const {
+    const std::int64_t key = (static_cast<std::int64_t>(bx) << 24) ^
+                             (by & 0xffffff);
+    for (const auto& [k, b] : buckets_) {
+      if (k == key) return &b;
+    }
+    return nullptr;
+  }
+
+  void track_extent(std::int32_t bx, std::int32_t by) {
+    lo_x_ = std::min(lo_x_, bx);
+    hi_x_ = std::max(hi_x_, bx);
+    lo_y_ = std::min(lo_y_, by);
+    hi_y_ = std::max(hi_y_, by);
+  }
+
+  template <typename F>
+  void visit_ring(std::int32_t cx, std::int32_t cy, std::int32_t r,
+                  F&& f) const {
+    if (r == 0) {
+      if (const auto* b = find_bucket(cx, cy)) f(*b);
+      return;
+    }
+    for (std::int32_t dx = -r; dx <= r; ++dx) {
+      if (const auto* b = find_bucket(cx + dx, cy - r)) f(*b);
+      if (const auto* b = find_bucket(cx + dx, cy + r)) f(*b);
+    }
+    for (std::int32_t dy = -r + 1; dy <= r - 1; ++dy) {
+      if (const auto* b = find_bucket(cx - r, cy + dy)) f(*b);
+      if (const auto* b = find_bucket(cx + r, cy + dy)) f(*b);
+    }
+  }
+
+  std::int32_t bucket_size_;
+  std::vector<Entry> points_;
+  // Bucket list is small (terminals of one net); linear scan keyed by packed
+  // coords avoids hashing overhead at these sizes.
+  std::vector<std::pair<std::int64_t, std::vector<std::uint32_t>>> buckets_;
+  std::int32_t lo_x_{0}, hi_x_{0}, lo_y_{0}, hi_y_{0};
+  std::size_t active_count_{0};
+};
+
+}  // namespace cdst

@@ -1,0 +1,60 @@
+/// \file point.h
+/// Integer grid coordinates. Global routing positions are gcell indices; the
+/// third coordinate of Point3 is the routing layer.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace cdst {
+
+struct Point2 {
+  std::int32_t x{0};
+  std::int32_t y{0};
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+  friend auto operator<=>(const Point2&, const Point2&) = default;
+};
+
+struct Point3 {
+  std::int32_t x{0};
+  std::int32_t y{0};
+  std::int32_t z{0};  ///< routing layer index
+
+  Point2 xy() const { return Point2{x, y}; }
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+  friend auto operator<=>(const Point3&, const Point3&) = default;
+};
+
+/// L1 (rectilinear) distance in the plane.
+inline std::int64_t l1_distance(const Point2& a, const Point2& b) {
+  return std::abs(static_cast<std::int64_t>(a.x) - b.x) +
+         std::abs(static_cast<std::int64_t>(a.y) - b.y);
+}
+
+inline std::int64_t l1_distance(const Point3& a, const Point3& b) {
+  return l1_distance(a.xy(), b.xy());
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point2& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point3& p) {
+  return os << '(' << p.x << ',' << p.y << ",z" << p.z << ')';
+}
+
+}  // namespace cdst
+
+template <>
+struct std::hash<cdst::Point2> {
+  std::size_t operator()(const cdst::Point2& p) const noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x))
+            << 32) ^
+           static_cast<std::uint32_t>(p.y);
+  }
+};

@@ -1,0 +1,91 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+#include "util/binary_heap.h"
+#include "util/fibonacci_heap.h"
+
+namespace cdst {
+namespace {
+
+template <typename Heap>
+void run_search(const Graph& g,
+                const std::vector<std::pair<VertexId, double>>& seeds,
+                const EdgeLengthFn& length, VertexId target,
+                DijkstraResult& r) {
+  Heap heap;
+  for (const auto& [v, d] : seeds) {
+    CDST_CHECK(v < g.num_vertices());
+    if (d < r.dist[v]) {
+      r.dist[v] = d;
+      heap.push_or_decrease(v, d);
+    }
+  }
+  while (!heap.empty()) {
+    const VertexId u = heap.pop_min();
+    if (u == target) break;
+    const double du = r.dist[u];
+    for (const Graph::Arc& a : g.arcs(u)) {
+      const double w = length(a.edge);
+      CDST_ASSERT(w >= 0.0);
+      const double nd = du + w;
+      if (nd < r.dist[a.to]) {
+        r.dist[a.to] = nd;
+        r.parent_edge[a.to] = a.edge;
+        r.parent[a.to] = u;
+        heap.push_or_decrease(a.to, nd);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeId> DijkstraResult::path_edges(VertexId v) const {
+  std::vector<EdgeId> out;
+  while (parent_edge[v] != kInvalidEdge) {
+    out.push_back(parent_edge[v]);
+    v = parent[v];
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+DijkstraResult dijkstra(const Graph& g, const std::vector<VertexId>& sources,
+                        const EdgeLengthFn& length, VertexId target,
+                        DijkstraHeap heap) {
+  std::vector<std::pair<VertexId, double>> seeds;
+  seeds.reserve(sources.size());
+  for (VertexId s : sources) seeds.emplace_back(s, 0.0);
+  return dijkstra_with_initial_labels(g, seeds, length, target, heap);
+}
+
+DijkstraResult dijkstra_from_potentials(const Graph& g,
+                                        const std::vector<double>& init,
+                                        const EdgeLengthFn& length) {
+  CDST_CHECK(init.size() == g.num_vertices());
+  std::vector<std::pair<VertexId, double>> seeds;
+  for (VertexId v = 0; v < init.size(); ++v) {
+    if (init[v] < DijkstraResult::kInf) seeds.emplace_back(v, init[v]);
+  }
+  return dijkstra_with_initial_labels(g, seeds, length);
+}
+
+DijkstraResult dijkstra_with_initial_labels(
+    const Graph& g, const std::vector<std::pair<VertexId, double>>& seeds,
+    const EdgeLengthFn& length, VertexId target, DijkstraHeap heap) {
+  const std::size_t n = g.num_vertices();
+  DijkstraResult r;
+  r.dist.assign(n, DijkstraResult::kInf);
+  r.parent_edge.assign(n, kInvalidEdge);
+  r.parent.assign(n, kInvalidVertex);
+
+  if (heap == DijkstraHeap::kFibonacci) {
+    run_search<FibonacciHeap<double>>(g, seeds, length, target, r);
+  } else {
+    run_search<BinaryHeap<double>>(g, seeds, length, target, r);
+  }
+  return r;
+}
+
+}  // namespace cdst

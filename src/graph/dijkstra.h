@@ -1,0 +1,59 @@
+/// \file dijkstra.h
+/// Standard single/multi-source Dijkstra over a Graph with caller-provided
+/// edge lengths. Used for landmark preprocessing, the topology-embedding DP,
+/// and as a reference implementation in tests (the cost-distance solver has
+/// its own specialized multi-metric search).
+
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cdst {
+
+struct DijkstraResult {
+  std::vector<double> dist;          ///< distance per vertex (inf if unreached)
+  std::vector<EdgeId> parent_edge;   ///< edge towards the source tree
+  std::vector<VertexId> parent;      ///< predecessor vertex
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  bool reached(VertexId v) const { return dist[v] < kInf; }
+
+  /// Path from a source to v as a list of edge ids (source-to-v order).
+  std::vector<EdgeId> path_edges(VertexId v) const;
+};
+
+/// Edge length callback: double(EdgeId).
+using EdgeLengthFn = std::function<double(EdgeId)>;
+
+/// Priority queue backing the search. Theorem 1's O(t (n log n + m)) bound
+/// uses Fibonacci heaps; on sparse routing graphs binary heaps are faster in
+/// practice (Section III-B), hence the default.
+enum class DijkstraHeap : std::uint8_t { kBinary, kFibonacci };
+
+/// Runs Dijkstra from the given sources (distance 0 each).
+/// \param target if valid, the search stops once target is settled.
+DijkstraResult dijkstra(const Graph& g, const std::vector<VertexId>& sources,
+                        const EdgeLengthFn& length,
+                        VertexId target = kInvalidVertex,
+                        DijkstraHeap heap = DijkstraHeap::kBinary);
+
+/// Dijkstra with per-source initial distances ("potential" form used by the
+/// topology embedding DP: labels seed from a previous DP table).
+DijkstraResult dijkstra_with_initial_labels(
+    const Graph& g, const std::vector<std::pair<VertexId, double>>& seeds,
+    const EdgeLengthFn& length, VertexId target = kInvalidVertex,
+    DijkstraHeap heap = DijkstraHeap::kBinary);
+
+/// Potential-seeded Dijkstra over a full initial vector: computes
+/// M(v) = min_u ( init[u] + dist(u, v) ) for all v. Entries with +inf are
+/// not seeded. The workhorse of the optimal topology embedding.
+DijkstraResult dijkstra_from_potentials(const Graph& g,
+                                        const std::vector<double>& init,
+                                        const EdgeLengthFn& length);
+
+}  // namespace cdst

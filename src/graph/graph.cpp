@@ -1,0 +1,29 @@
+#include "graph/graph.h"
+
+namespace cdst {
+
+void Graph::build(const GraphBuilder& b) {
+  tails_ = b.tails_;
+  heads_ = b.heads_;
+  const std::size_t n = b.num_vertices_;
+  const std::size_t m = tails_.size();
+
+  std::vector<std::size_t> deg(n, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++deg[tails_[e]];
+    ++deg[heads_[e]];
+  }
+
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v];
+
+  arcs_.resize(2 * m);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto id = static_cast<EdgeId>(e);
+    arcs_[cursor[tails_[e]]++] = Arc{id, heads_[e]};
+    arcs_[cursor[heads_[e]]++] = Arc{id, tails_[e]};
+  }
+}
+
+}  // namespace cdst

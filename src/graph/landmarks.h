@@ -1,0 +1,47 @@
+/// \file landmarks.h
+/// ALT (A*, Landmarks, Triangle inequality) lower bounds [Goldberg &
+/// Harrelson, SODA'05], used by the goal-oriented path searches of paper
+/// Section III-C to lower-bound *congestion* cost between vertices.
+///
+/// Landmarks are selected by the standard "avoid farthest" greedy on the
+/// given metric; for every landmark we store distances to all vertices, and
+/// dist(x, y) >= max_L |d(L, x) - d(L, y)| gives an admissible estimate.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace cdst {
+
+class Landmarks {
+ public:
+  /// Builds k landmarks on graph g with the given (static) edge lengths.
+  Landmarks(const Graph& g, const EdgeLengthFn& length, std::size_t k);
+
+  std::size_t count() const { return tables_.size(); }
+
+  /// Admissible lower bound on the length of any x-y path.
+  double lower_bound(VertexId x, VertexId y) const {
+    double best = 0.0;
+    for (const auto& table : tables_) {
+      const double d = table[x] - table[y];
+      const double ad = d < 0 ? -d : d;
+      if (ad > best) best = ad;
+    }
+    return best;
+  }
+
+  /// Distance table of landmark i (for tests).
+  const std::vector<double>& table(std::size_t i) const { return tables_[i]; }
+  VertexId landmark(std::size_t i) const { return picks_[i]; }
+
+ private:
+  std::vector<std::vector<double>> tables_;
+  std::vector<VertexId> picks_;
+};
+
+}  // namespace cdst

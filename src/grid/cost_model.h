@@ -1,0 +1,65 @@
+/// \file cost_model.h
+/// Congestion pricing of routing-grid edges.
+///
+/// "an edge cost c(e) arises from the current edge usage" (paper Section I).
+/// We use the resource-sharing style exponential price of [13]: the price of
+/// a resource grows exponentially in its utilization, so the Lagrangean
+/// router trades congested regions against detours and the cost-distance
+/// oracle sees c(e) that is *uncorrelated* with d(e) — the defining feature
+/// of the problem.
+
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.h"
+#include "grid/routing_grid.h"
+
+namespace cdst {
+
+struct CongestionParams {
+  /// Exponential base: price multiplier at 100% utilization.
+  double price_at_full{16.0};
+  /// Utilization beyond which the price keeps growing linearly in the
+  /// exponent (no cap): overfull edges become rapidly prohibitive.
+  double smoothing{1.0};
+};
+
+/// Tracks per-resource usage and prices edges.
+class CongestionCosts {
+ public:
+  CongestionCosts(const RoutingGrid& grid, CongestionParams params = {});
+
+  const RoutingGrid& grid() const { return *grid_; }
+
+  /// Current congestion price for routing one more wire over edge e:
+  ///   c(e) = unit_cost(e) * price_at_full ^ (utilization(resource(e)))
+  /// (>= unit_cost(e), equality at zero usage).
+  double edge_cost(EdgeId e) const {
+    const RoutingGrid::EdgeInfo& info = grid_->edge_info(e);
+    const double util = usage_[info.resource] / capacity_[info.resource];
+    return info.unit_cost * std::exp(log_base_ * util * params_.smoothing);
+  }
+
+  /// Snapshot of edge costs for all edges (the c vector handed to solvers).
+  std::vector<double> edge_cost_vector() const;
+
+  /// Commits (sign=+1) or rips up (sign=-1) the usage of a set of edges.
+  void add_usage(const std::vector<EdgeId>& edges, double sign);
+
+  double usage(ResourceId r) const { return usage_[r]; }
+  double utilization(ResourceId r) const { return usage_[r] / capacity_[r]; }
+  std::size_t num_resources() const { return usage_.size(); }
+
+  void reset();
+
+ private:
+  const RoutingGrid* grid_;
+  CongestionParams params_;
+  double log_base_;
+  std::vector<double> usage_;
+  std::vector<double> capacity_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,18 @@
+#include "grid/future_cost.h"
+
+namespace cdst {
+
+FutureCost::FutureCost(const RoutingGrid& grid, std::size_t num_landmarks)
+    : grid_(&grid),
+      min_unit_cost_(grid.min_unit_cost()),
+      min_unit_delay_(grid.min_unit_delay()),
+      min_via_cost_(grid.min_via_cost()),
+      min_via_delay_(grid.min_via_delay()) {
+  if (num_landmarks > 0) {
+    const std::vector<double>& base = grid.base_costs();
+    landmarks_ = std::make_unique<Landmarks>(
+        grid.graph(), [&base](EdgeId e) { return base[e]; }, num_landmarks);
+  }
+}
+
+}  // namespace cdst

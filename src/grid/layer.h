@@ -1,0 +1,34 @@
+/// \file layer.h
+/// Per-layer parameters of the 3D global routing grid.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/wire_type.h"
+
+namespace cdst {
+
+enum class LayerDir : std::uint8_t {
+  kHorizontal,  ///< wires run in x
+  kVertical,    ///< wires run in y
+};
+
+struct LayerSpec {
+  std::string name;
+  LayerDir dir{LayerDir::kHorizontal};
+
+  /// Routing capacity (track equivalents) per gcell boundary on this layer.
+  double capacity{10.0};
+
+  /// Wire types available on this layer; each becomes a parallel edge.
+  std::vector<WireType> wire_types;
+
+  /// Wire RC per gcell, used by the repeater-chain model to derive
+  /// delay_per_gcell; kept here for provenance.
+  double r_per_gcell{1.0};  ///< ohm
+  double c_per_gcell{1.0};  ///< fF
+};
+
+}  // namespace cdst

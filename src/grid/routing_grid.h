@@ -1,0 +1,116 @@
+/// \file routing_grid.h
+/// The 3D global routing graph.
+///
+/// Vertices are gcells per layer: (x, y, z) with 0 <= x < nx, 0 <= y < ny,
+/// 0 <= z < nz. Within a layer, edges follow the layer's preferred direction,
+/// with one parallel edge per wire type. Between adjacent layers there are
+/// via edges. Every edge references a capacity *resource* (a geometric gcell
+/// boundary); parallel wire-type edges share their boundary's resource and
+/// consume `width` units of it, which is how congestion couples wire types.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+#include "grid/layer.h"
+
+namespace cdst {
+
+using ResourceId = std::uint32_t;
+
+class RoutingGrid {
+ public:
+  struct EdgeInfo {
+    ResourceId resource{0};
+    float width{1.0f};       ///< capacity units consumed
+    float unit_cost{1.0f};   ///< congestion cost weight at zero usage
+    float delay{1.0f};       ///< linear delay (ps) of this edge
+    std::uint8_t layer{0};   ///< layer of the edge (lower layer for vias)
+    std::uint8_t wire_type{0};
+    bool is_via{false};
+  };
+
+  RoutingGrid(std::int32_t nx, std::int32_t ny, std::vector<LayerSpec> layers,
+              ViaSpec via);
+
+  const Graph& graph() const { return graph_; }
+
+  std::int32_t nx() const { return nx_; }
+  std::int32_t ny() const { return ny_; }
+  std::int32_t nz() const { return static_cast<std::int32_t>(layers_.size()); }
+
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  const ViaSpec& via() const { return via_; }
+
+  VertexId vertex_at(std::int32_t x, std::int32_t y, std::int32_t z) const {
+    CDST_ASSERT(x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 &&
+                z < nz());
+    return static_cast<VertexId>((static_cast<std::int64_t>(z) * ny_ + y) *
+                                     nx_ +
+                                 x);
+  }
+
+  VertexId vertex_at(const Point3& p) const {
+    return vertex_at(p.x, p.y, p.z);
+  }
+
+  Point3 position(VertexId v) const {
+    const auto x = static_cast<std::int32_t>(v % nx_);
+    const auto y = static_cast<std::int32_t>((v / nx_) % ny_);
+    const auto z = static_cast<std::int32_t>(v / (static_cast<std::int64_t>(nx_) * ny_));
+    return Point3{x, y, z};
+  }
+
+  const EdgeInfo& edge_info(EdgeId e) const {
+    CDST_ASSERT(e < edge_info_.size());
+    return edge_info_[e];
+  }
+
+  std::size_t num_resources() const { return resource_capacity_.size(); }
+  double resource_capacity(ResourceId r) const {
+    CDST_ASSERT(r < resource_capacity_.size());
+    return resource_capacity_[r];
+  }
+
+  /// Static delay vector indexed by EdgeId (the d of the paper).
+  const std::vector<double>& edge_delays() const { return delays_; }
+
+  /// Uncongested unit costs indexed by EdgeId (lower bound of any price).
+  const std::vector<double>& base_costs() const { return base_costs_; }
+
+  /// Cheapest congestion cost per gcell over all layers and wire types
+  /// (admissible A* ingredient).
+  double min_unit_cost() const { return min_unit_cost_; }
+  /// Fastest linear delay per gcell over all layers and wire types
+  /// ("the fastest layer and wire type combination", Section III-C).
+  double min_unit_delay() const { return min_unit_delay_; }
+  double min_via_cost() const { return via_.unit_cost; }
+  double min_via_delay() const { return via_.delay; }
+
+ private:
+  void build();
+
+  std::int32_t nx_;
+  std::int32_t ny_;
+  std::vector<LayerSpec> layers_;
+  ViaSpec via_;
+
+  Graph graph_;
+  std::vector<EdgeInfo> edge_info_;
+  std::vector<double> delays_;
+  std::vector<double> base_costs_;
+  std::vector<double> resource_capacity_;
+  double min_unit_cost_{0.0};
+  double min_unit_delay_{0.0};
+};
+
+/// Convenience factory: a technology-flavoured layer stack with alternating
+/// directions, thicker/faster upper layers, and 1-2 wire types per layer.
+/// Used by tests, examples, and the synthetic chip generator.
+std::vector<LayerSpec> make_default_layer_stack(int num_layers,
+                                                double base_capacity = 20.0);
+
+}  // namespace cdst

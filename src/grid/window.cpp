@@ -1,0 +1,83 @@
+#include "grid/window.h"
+
+#include <algorithm>
+
+namespace cdst {
+
+RoutingWindow::RoutingWindow(const RoutingGrid& grid,
+                             const CongestionCosts& costs, Rect box)
+    : grid_(&grid) {
+  // Clip to the grid.
+  box.xlo = std::max(box.xlo, 0);
+  box.ylo = std::max(box.ylo, 0);
+  box.xhi = std::min(box.xhi, grid.nx() - 1);
+  box.yhi = std::min(box.yhi, grid.ny() - 1);
+  CDST_CHECK_MSG(!box.empty(), "routing window does not intersect the grid");
+  box_ = box;
+  wx_ = static_cast<std::int32_t>(box.width()) + 1;
+  wy_ = static_cast<std::int32_t>(box.height()) + 1;
+
+  const std::int32_t nz = grid.nz();
+  const std::size_t wn = static_cast<std::size_t>(wx_) * wy_ * nz;
+  to_grid_vertex_.resize(wn);
+
+  auto wvertex = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return static_cast<VertexId>(
+        (static_cast<std::int64_t>(z) * wy_ + (y - box_.ylo)) * wx_ +
+        (x - box_.xlo));
+  };
+
+  GraphBuilder builder(wn);
+  for (std::int32_t z = 0; z < nz; ++z) {
+    for (std::int32_t y = box_.ylo; y <= box_.yhi; ++y) {
+      for (std::int32_t x = box_.xlo; x <= box_.xhi; ++x) {
+        to_grid_vertex_[wvertex(x, y, z)] = grid.vertex_at(x, y, z);
+      }
+    }
+  }
+
+  // Copy edges whose endpoints both lie in the window. Iterating grid arcs
+  // from each window vertex visits each such edge twice; keep tail < head.
+  const Graph& gg = grid.graph();
+  for (VertexId wv = 0; wv < wn; ++wv) {
+    const VertexId gv = to_grid_vertex_[wv];
+    const Point3 pv = grid.position(gv);
+    for (const Graph::Arc& a : gg.arcs(gv)) {
+      if (a.to < gv) continue;  // visit once
+      const Point3 pu = grid.position(a.to);
+      if (!box_.contains(pu.xy())) continue;
+      const VertexId wu = wvertex(pu.x, pu.y, pu.z);
+      builder.add_edge(wv, wu);
+      to_grid_edge_.push_back(a.edge);
+    }
+    (void)pv;
+  }
+  graph_ = Graph(builder);
+
+  const std::size_t wm = to_grid_edge_.size();
+  costs_.resize(wm);
+  delays_.resize(wm);
+  const std::vector<double>& gd = grid.edge_delays();
+  for (std::size_t e = 0; e < wm; ++e) {
+    costs_[e] = costs.edge_cost(to_grid_edge_[e]);
+    delays_[e] = gd[to_grid_edge_[e]];
+  }
+}
+
+VertexId RoutingWindow::from_grid_vertex(VertexId gv) const {
+  const Point3 p = grid_->position(gv);
+  if (!box_.contains(p.xy())) return kInvalidVertex;
+  return static_cast<VertexId>(
+      (static_cast<std::int64_t>(p.z) * wy_ + (p.y - box_.ylo)) * wx_ +
+      (p.x - box_.xlo));
+}
+
+std::vector<EdgeId> RoutingWindow::to_grid_edges(
+    const std::vector<EdgeId>& wes) const {
+  std::vector<EdgeId> out;
+  out.reserve(wes.size());
+  for (const EdgeId we : wes) out.push_back(to_grid_edge_[we]);
+  return out;
+}
+
+}  // namespace cdst

@@ -1,0 +1,91 @@
+/// \file window.h
+/// Routing windows: subgraphs of the routing grid restricted to a plane
+/// rectangle (all layers), with id translation back to the full grid.
+///
+/// Global routers solve per-net Steiner problems inside the net's bounding
+/// box inflated by a detour margin — both for speed and because optimal
+/// detours rarely leave that region. All per-net oracles (cost-distance and
+/// the embedded baselines) run on windows; usage is committed on grid edges.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/future_oracle.h"
+#include "geom/rect.h"
+#include "grid/cost_model.h"
+#include "grid/routing_grid.h"
+#include "util/sparse_map.h"
+
+namespace cdst {
+
+class RoutingWindow {
+ public:
+  /// Builds the subgraph of `grid` over gcells in `box` (clipped to the
+  /// grid), all layers included, with current congestion prices as costs.
+  RoutingWindow(const RoutingGrid& grid, const CongestionCosts& costs,
+                Rect box);
+
+  const Graph& graph() const { return graph_; }
+  const RoutingGrid& grid() const { return *grid_; }
+  const Rect& box() const { return box_; }
+
+  /// Congestion prices of window edges (the instance's c vector).
+  const std::vector<double>& edge_costs() const { return costs_; }
+  /// Static delays of window edges (the instance's d vector).
+  const std::vector<double>& edge_delays() const { return delays_; }
+
+  VertexId to_grid_vertex(VertexId wv) const { return to_grid_vertex_[wv]; }
+  EdgeId to_grid_edge(EdgeId we) const { return to_grid_edge_[we]; }
+
+  /// Window vertex for a grid vertex; kInvalidVertex if outside the box.
+  VertexId from_grid_vertex(VertexId gv) const;
+
+  /// Maps window-edge paths back to grid edges.
+  std::vector<EdgeId> to_grid_edges(const std::vector<EdgeId>& wes) const;
+
+ private:
+  const RoutingGrid* grid_;
+  Rect box_;
+  Graph graph_;
+  std::vector<VertexId> to_grid_vertex_;
+  std::vector<EdgeId> to_grid_edge_;
+  std::vector<double> costs_;
+  std::vector<double> delays_;
+  std::int32_t wx_{0}, wy_{0};  ///< window extent in gcells
+};
+
+/// FutureCostOracle over a routing window: geometric L1 bounds evaluated in
+/// grid coordinates (no landmarks — windows are rebuilt per net).
+class WindowFutureCost final : public FutureCostOracle {
+ public:
+  explicit WindowFutureCost(const RoutingWindow& w) : w_(&w) {}
+
+  Point2 xy(VertexId v) const override {
+    return w_->grid().position(w_->to_grid_vertex(v)).xy();
+  }
+  double cost_lb(VertexId a, VertexId b) const override {
+    const Point3 pa = w_->grid().position(w_->to_grid_vertex(a));
+    const Point3 pb = w_->grid().position(w_->to_grid_vertex(b));
+    return static_cast<double>(l1_distance(pa, pb)) *
+               w_->grid().min_unit_cost() +
+           std::abs(pa.z - pb.z) * w_->grid().min_via_cost();
+  }
+  double delay_lb(VertexId a, VertexId b) const override {
+    const Point3 pa = w_->grid().position(w_->to_grid_vertex(a));
+    const Point3 pb = w_->grid().position(w_->to_grid_vertex(b));
+    return static_cast<double>(l1_distance(pa, pb)) *
+               w_->grid().min_unit_delay() +
+           std::abs(pa.z - pb.z) * w_->grid().min_via_delay();
+  }
+  double min_unit_cost() const override { return w_->grid().min_unit_cost(); }
+  double min_unit_delay() const override {
+    return w_->grid().min_unit_delay();
+  }
+
+ private:
+  const RoutingWindow* w_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,41 @@
+/// \file wire_type.h
+/// Wire type (width/spacing configuration) and via descriptors.
+///
+/// The paper (Section I): "If multiple wire types ... are available G may
+/// have a parallel edge for each wire type that has an individual cost and
+/// delay." A wide wire consumes more routing capacity (higher congestion
+/// cost) but has lower resistance (lower linear delay).
+
+#pragma once
+
+#include <string>
+
+namespace cdst {
+
+struct WireType {
+  std::string name;
+
+  /// Capacity units (track equivalents) consumed per gcell crossed.
+  double width{1.0};
+
+  /// Congestion-cost weight per gcell at zero congestion. Typically
+  /// proportional to width: using a wide wire "costs" more routing resource.
+  double unit_cost{1.0};
+
+  /// Linear delay (ps) per gcell crossed, from the repeater-chain model
+  /// (timing/repeater_chain.h) or set directly in tests.
+  double delay_per_gcell{1.0};
+};
+
+struct ViaSpec {
+  /// Capacity units consumed per via stack through a gcell boundary.
+  double width{1.0};
+
+  /// Congestion-cost weight of one via.
+  double unit_cost{1.0};
+
+  /// Delay (ps) of one via hop.
+  double delay{1.0};
+};
+
+}  // namespace cdst

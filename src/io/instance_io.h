@@ -1,0 +1,34 @@
+/// \file instance_io.h
+/// Text (de)serialization of generic cost-distance instances: graph, both
+/// metrics, terminals and penalty parameters. Lets users snapshot instances
+/// sampled from router runs and rerun oracles on them offline.
+
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/instance.h"
+
+namespace cdst {
+
+/// Owning instance bundle (the generic CostDistanceInstance only points at
+/// its graph and metric vectors).
+struct OwnedInstance {
+  std::unique_ptr<Graph> graph;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  CostDistanceInstance instance;  ///< wired to the members above
+};
+
+/// Writes the instance in a simple line-oriented text format.
+void write_instance(std::ostream& os, const CostDistanceInstance& inst);
+void write_instance_file(const std::string& path,
+                         const CostDistanceInstance& inst);
+
+/// Reads an instance written by write_instance. Throws on malformed input.
+OwnedInstance read_instance(std::istream& is);
+OwnedInstance read_instance_file(const std::string& path);
+
+}  // namespace cdst

@@ -1,0 +1,128 @@
+#include "io/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "geom/rect.h"
+#include "util/assert.h"
+
+namespace cdst {
+
+SvgCanvas::SvgCanvas(Rect extent, double pixels_per_unit)
+    : extent_(extent), scale_(pixels_per_unit) {
+  CDST_CHECK(!extent.empty());
+}
+
+double SvgCanvas::sx(double x) const {
+  return (x - extent_.xlo + 1.0) * scale_;
+}
+double SvgCanvas::sy(double y) const {
+  // SVG y grows downward; flip so the plot matches chip coordinates.
+  return (extent_.yhi - y + 1.0) * scale_;
+}
+
+void SvgCanvas::add_line(Point2 a, Point2 b, const std::string& color,
+                         double width, double opacity) {
+  std::ostringstream os;
+  os << "<line x1=\"" << sx(a.x) << "\" y1=\"" << sy(a.y) << "\" x2=\""
+     << sx(b.x) << "\" y2=\"" << sy(b.y) << "\" stroke=\"" << color
+     << "\" stroke-width=\"" << width << "\" stroke-opacity=\"" << opacity
+     << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_circle(Point2 center, double radius,
+                           const std::string& color, double opacity) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << sx(center.x) << "\" cy=\"" << sy(center.y)
+     << "\" r=\"" << radius << "\" fill=\"" << color << "\" fill-opacity=\""
+     << opacity << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_square(Point2 center, double half_side,
+                           const std::string& color) {
+  std::ostringstream os;
+  os << "<rect x=\"" << sx(center.x) - half_side << "\" y=\""
+     << sy(center.y) - half_side << "\" width=\"" << 2 * half_side
+     << "\" height=\"" << 2 * half_side << "\" fill=\"" << color << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::add_text(Point2 at, const std::string& text, double size) {
+  std::ostringstream os;
+  os << "<text x=\"" << sx(at.x) << "\" y=\"" << sy(at.y) << "\" font-size=\""
+     << size << "\" font-family=\"monospace\">" << text << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgCanvas::to_string() const {
+  const double w = (extent_.width() + 2.0) * scale_;
+  const double h = (extent_.height() + 2.0) * scale_;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+     << "\" height=\"" << h << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgCanvas::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  CDST_CHECK_MSG(f.good(), "cannot open SVG output file " + path);
+  f << to_string();
+}
+
+void draw_topology(SvgCanvas& canvas, const PlaneTopology& topo,
+                   const std::string& color) {
+  for (std::size_t i = 1; i < topo.nodes.size(); ++i) {
+    const Point2 a = topo.nodes[i].pos;
+    const Point2 b =
+        topo.nodes[static_cast<std::size_t>(topo.nodes[i].parent)].pos;
+    // L-shape: horizontal leg then vertical.
+    const Point2 corner{b.x, a.y};
+    canvas.add_line(a, corner, color, 1.5);
+    canvas.add_line(corner, b, color, 1.5);
+  }
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    if (i == 0) {
+      canvas.add_square(topo.nodes[i].pos, 4.0, "red");
+    } else if (topo.nodes[i].sink_index >= 0) {
+      canvas.add_circle(topo.nodes[i].pos, 3.0, "black");
+    } else {
+      canvas.add_circle(topo.nodes[i].pos, 2.0, color, 0.7);
+    }
+  }
+}
+
+void draw_tree(SvgCanvas& canvas, const SteinerTree& tree,
+               const RoutingGrid& grid, const std::string& color) {
+  const int nz = grid.nz();
+  for (const SteinerTree::Node& n : tree.nodes) {
+    VertexId at = n.graph_vertex;
+    for (const EdgeId e : n.up_path) {
+      const VertexId next = grid.graph().other_end(e, at);
+      const Point3 pa = grid.position(at);
+      const Point3 pb = grid.position(next);
+      if (grid.edge_info(e).is_via) {
+        canvas.add_circle(pa.xy(), 1.2, color, 0.5);
+      } else {
+        const double opacity =
+            0.35 + 0.65 * (1.0 - static_cast<double>(pa.z) / nz);
+        canvas.add_line(pa.xy(), pb.xy(), color, 2.0, opacity);
+      }
+      at = next;
+    }
+  }
+  for (const SteinerTree::Node& n : tree.nodes) {
+    const Point2 p = grid.position(n.graph_vertex).xy();
+    if (n.kind == NodeKind::kRoot) {
+      canvas.add_square(p, 4.0, "red");
+    } else if (n.kind == NodeKind::kSink) {
+      canvas.add_circle(p, 3.0, "black");
+    }
+  }
+}
+
+}  // namespace cdst

@@ -1,0 +1,50 @@
+/// \file svg.h
+/// Minimal SVG emitter for visualizing plane topologies and embedded Steiner
+/// trees (Figure 3-style algorithm walkthroughs).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/steiner_tree.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "grid/routing_grid.h"
+#include "topology/topology.h"
+
+namespace cdst {
+
+class SvgCanvas {
+ public:
+  /// Drawing area in plane (gcell) coordinates, scaled by `pixels_per_unit`.
+  SvgCanvas(Rect extent, double pixels_per_unit = 10.0);
+
+  void add_line(Point2 a, Point2 b, const std::string& color,
+                double width = 1.0, double opacity = 1.0);
+  void add_circle(Point2 center, double radius, const std::string& color,
+                  double opacity = 1.0);
+  void add_square(Point2 center, double half_side, const std::string& color);
+  void add_text(Point2 at, const std::string& text, double size = 10.0);
+
+  std::string to_string() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  double sx(double x) const;
+  double sy(double y) const;
+
+  Rect extent_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+/// Draws a plane topology (edges as L-shapes, terminals as dots).
+void draw_topology(SvgCanvas& canvas, const PlaneTopology& topo,
+                   const std::string& color);
+
+/// Draws an embedded tree projected to the plane; layer encoded by opacity.
+void draw_tree(SvgCanvas& canvas, const SteinerTree& tree,
+               const RoutingGrid& grid, const std::string& color);
+
+}  // namespace cdst

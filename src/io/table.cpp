@@ -1,0 +1,76 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : width_(header.size()) {
+  rows_.push_back(std::move(header));
+  add_separator();
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CDST_CHECK(cells.size() == width_);
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> col(width_, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      col[i] = std::max(col[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      std::size_t total = 0;
+      for (const std::size_t c : col) total += c + 2;
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t pad = col[i] - row[i].size();
+      // Right-align everything except the first column.
+      if (i == 0) {
+        os << row[i] << std::string(pad, ' ') << "  ";
+      } else {
+        os << std::string(pad, ' ') << row[i] << "  ";
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long x = neg ? static_cast<unsigned long long>(-v)
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(x);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c > 0 && c % 3 == 0) out.push_back(' ');
+    out.push_back(*it);
+    ++c;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cdst

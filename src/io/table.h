@@ -1,0 +1,35 @@
+/// \file table.h
+/// Plain-text table printer for the experiment harnesses (paper-style rows).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdst {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line.
+  void add_separator();
+
+  /// Renders with right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+ private:
+  std::size_t width_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/// Formats a double with the given number of decimals.
+std::string fmt_double(double v, int decimals);
+
+/// Formats with thousands separators (paper style: "941 271").
+std::string fmt_count(long long v);
+
+}  // namespace cdst

@@ -1,0 +1,57 @@
+#include "route/metrics.h"
+
+#include <algorithm>
+
+namespace cdst {
+
+CongestionReport compute_ace(const CongestionCosts& costs) {
+  const RoutingGrid& grid = costs.grid();
+  // Collect utilizations of wire resources only. A resource is a wire
+  // boundary iff some non-via edge references it; build the flag from edges.
+  std::vector<bool> is_wire(costs.num_resources(), false);
+  for (EdgeId e = 0; e < grid.graph().num_edges(); ++e) {
+    const auto& info = grid.edge_info(e);
+    if (!info.is_via) is_wire[info.resource] = true;
+  }
+  std::vector<double> utils;
+  utils.reserve(costs.num_resources());
+  CongestionReport rep;
+  for (ResourceId r = 0; r < costs.num_resources(); ++r) {
+    if (!is_wire[r]) continue;
+    const double u = costs.utilization(r) * 100.0;
+    utils.push_back(u);
+    rep.max_utilization = std::max(rep.max_utilization, u);
+    if (u > 100.0) ++rep.overfull_edges;
+  }
+  CDST_CHECK(!utils.empty());
+  std::sort(utils.begin(), utils.end(), std::greater<>());
+
+  const std::array<double, 4> percents{0.5, 1.0, 2.0, 5.0};
+  for (std::size_t i = 0; i < percents.size(); ++i) {
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(percents[i] / 100.0 *
+                                    static_cast<double>(utils.size())));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum += utils[j];
+    rep.ace[i] = sum / static_cast<double>(k);
+    rep.ace4 += rep.ace[i] / 4.0;
+  }
+  return rep;
+}
+
+WireStats compute_wire_stats(const RoutingGrid& grid,
+                             const std::vector<std::vector<EdgeId>>& routes) {
+  WireStats s;
+  for (const auto& edges : routes) {
+    for (const EdgeId e : edges) {
+      if (grid.edge_info(e).is_via) {
+        ++s.num_vias;
+      } else {
+        s.wirelength_gcells += 1.0;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace cdst

@@ -1,0 +1,37 @@
+/// \file metrics.h
+/// Routing quality metrics of Tables IV/V: ACE congestion, wirelength and
+/// via counts.
+///
+/// "Congestion is measured using the ACE [19]. ACE(x) is the average
+/// congestion of the x% most critical global routing edges. We then use
+/// ACE4 := 1/4 (ACE(.5) + ACE(1) + ACE(2) + ACE(5))."
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "grid/cost_model.h"
+
+namespace cdst {
+
+struct CongestionReport {
+  std::array<double, 4> ace{};  ///< ACE(0.5), ACE(1), ACE(2), ACE(5) in %
+  double ace4{0.0};             ///< mean of the four
+  double max_utilization{0.0};  ///< worst edge utilization in %
+  std::size_t overfull_edges{0};
+};
+
+/// ACE over *wire* resources (gcell boundaries; vias excluded, as in [19]).
+CongestionReport compute_ace(const CongestionCosts& costs);
+
+struct WireStats {
+  double wirelength_gcells{0.0};  ///< wire edges weighted by 1 gcell each
+  std::size_t num_vias{0};
+};
+
+/// Wirelength / via count of a set of routed trees (grid edge ids).
+WireStats compute_wire_stats(const RoutingGrid& grid,
+                             const std::vector<std::vector<EdgeId>>& routes);
+
+}  // namespace cdst

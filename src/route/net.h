@@ -1,0 +1,61 @@
+/// \file net.h
+/// Netlist model for the timing-constrained global router.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace cdst {
+
+/// Which Steiner oracle serves a net (Section IV-A naming).
+enum class SteinerMethod : std::uint8_t {
+  kL1,  ///< L1-shortest Steiner topology, embedded optimally
+  kSL,  ///< shallow-light topology, embedded optimally
+  kPD,  ///< Prim-Dijkstra topology, embedded optimally
+  kCD,  ///< the new cost-distance algorithm (this paper)
+};
+
+inline const char* method_name(SteinerMethod m) {
+  switch (m) {
+    case SteinerMethod::kL1: return "L1";
+    case SteinerMethod::kSL: return "SL";
+    case SteinerMethod::kPD: return "PD";
+    case SteinerMethod::kCD: return "CD";
+  }
+  return "??";
+}
+
+inline const std::vector<SteinerMethod>& all_methods() {
+  static const std::vector<SteinerMethod> methods{
+      SteinerMethod::kL1, SteinerMethod::kSL, SteinerMethod::kPD,
+      SteinerMethod::kCD};
+  return methods;
+}
+
+struct SinkPin {
+  Point3 pos;
+  double rat{0.0};  ///< required arrival time (ps) at this sink
+};
+
+struct Net {
+  std::uint32_t id{0};
+  Point3 source;
+  std::vector<SinkPin> sinks;
+};
+
+struct Netlist {
+  std::string name;
+  std::vector<Net> nets;
+
+  std::size_t num_sinks() const {
+    std::size_t n = 0;
+    for (const Net& net : nets) n += net.sinks.size();
+    return n;
+  }
+};
+
+}  // namespace cdst

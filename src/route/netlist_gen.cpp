@@ -1,0 +1,132 @@
+#include "route/netlist_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/repeater_chain.h"
+#include "util/rng.h"
+
+namespace cdst {
+
+std::vector<ChipConfig> paper_chip_configs(double scale) {
+  CDST_CHECK(scale > 0.0);
+  // (name, nets from Table III, layers from Table III)
+  struct Row {
+    const char* name;
+    std::size_t nets;
+    int layers;
+  };
+  static constexpr Row rows[] = {
+      {"c1", 49734, 8},  {"c2", 66500, 9},  {"c3", 286619, 7},
+      {"c4", 305094, 15}, {"c5", 420131, 9}, {"c6", 590060, 9},
+      {"c7", 650127, 15}, {"c8", 941271, 15},
+  };
+  std::vector<ChipConfig> out;
+  std::uint64_t seed = 1000;
+  for (const Row& r : rows) {
+    ChipConfig c;
+    c.name = r.name;
+    c.num_nets = std::max<std::size_t>(
+        40, static_cast<std::size_t>(static_cast<double>(r.nets) * scale));
+    c.num_layers = r.layers;
+    // Die area grows with design size; pin density roughly constant.
+    const double side = std::sqrt(static_cast<double>(c.num_nets)) * 2.3;
+    c.nx = c.ny =
+        std::max<std::int32_t>(24, static_cast<std::int32_t>(side));
+    // Per-boundary capacity calibrated so the routed designs land in the
+    // paper's congestion regime (ACE4 in the high 80s/low 90s); more layers
+    // spread the same demand, so per-layer capacity shrinks.
+    c.capacity = 30.0 / static_cast<double>(c.num_layers) + 0.6;
+    c.rat_tightness = 1.35;
+    c.seed = seed++;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+RoutingGrid make_chip_grid(const ChipConfig& config) {
+  std::vector<LayerSpec> layers =
+      make_default_layer_stack(config.num_layers, config.capacity);
+  apply_linear_delay_model(layers, BufferSpec{});
+  ViaSpec via;
+  via.width = 1.0;
+  via.unit_cost = 1.0;
+  via.delay = 1.5;  // ps per layer hop, on the order of one gcell on fast metal
+  return RoutingGrid(config.nx, config.ny, std::move(layers), via);
+}
+
+namespace {
+
+/// Net size (sink count) with the long-tailed mix of real designs; the
+/// multi-sink shares mirror the Table I bucket proportions.
+std::size_t sample_num_sinks(Rng& rng) {
+  const double r = rng.uniform_double();
+  if (r < 0.40) return 1;
+  if (r < 0.62) return 2;
+  if (r < 0.82) return static_cast<std::size_t>(rng.uniform_int(3, 5));
+  if (r < 0.93) return static_cast<std::size_t>(rng.uniform_int(6, 14));
+  if (r < 0.98) return static_cast<std::size_t>(rng.uniform_int(15, 29));
+  return static_cast<std::size_t>(rng.uniform_int(30, 63));
+}
+
+}  // namespace
+
+Netlist generate_netlist(const ChipConfig& config, const RoutingGrid& grid) {
+  Rng rng(config.seed);
+  Netlist nl;
+  nl.name = config.name;
+  nl.nets.reserve(config.num_nets);
+
+  const std::int32_t nx = grid.nx();
+  const std::int32_t ny = grid.ny();
+  const double ideal_slope = grid.min_unit_delay();
+  const double via_delay = grid.min_via_delay();
+
+  for (std::uint32_t id = 0; id < config.num_nets; ++id) {
+    Net net;
+    net.id = id;
+    const std::size_t k = sample_num_sinks(rng);
+
+    // Cluster center and spread: mostly local nets, ~8% global ones.
+    const bool global = rng.bernoulli(0.08);
+    const double spread_frac = global ? rng.uniform_double(0.15, 0.45)
+                                      : rng.uniform_double(0.01, 0.08);
+    const auto spread = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(spread_frac * static_cast<double>(nx)));
+    const std::int32_t cx =
+        static_cast<std::int32_t>(rng.uniform_int(0, nx - 1));
+    const std::int32_t cy =
+        static_cast<std::int32_t>(rng.uniform_int(0, ny - 1));
+
+    auto sample_point = [&]() {
+      const std::int32_t x = std::clamp<std::int32_t>(
+          cx + static_cast<std::int32_t>(rng.uniform_int(-spread, spread)), 0,
+          nx - 1);
+      const std::int32_t y = std::clamp<std::int32_t>(
+          cy + static_cast<std::int32_t>(rng.uniform_int(-spread, spread)), 0,
+          ny - 1);
+      return Point3{x, y, 0};  // pins on the bottom layer
+    };
+
+    net.source = sample_point();
+    net.sinks.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      SinkPin pin;
+      pin.pos = sample_point();
+      // Ideal source-sink delay on the fastest layer, plus the via stack to
+      // get there; RAT is a per-net tightness multiple of it plus a floor
+      // accounting for fixed stage delays.
+      const double ideal =
+          ideal_slope * static_cast<double>(l1_distance(net.source, pin.pos)) +
+          2.0 * via_delay * static_cast<double>(grid.nz() - 1);
+      const double tightness =
+          config.rat_tightness * rng.uniform_double(0.75, 1.6);
+      pin.rat = ideal * tightness + 6.0;
+      net.sinks.push_back(pin);
+    }
+    nl.nets.push_back(std::move(net));
+  }
+  return nl;
+}
+
+}  // namespace cdst

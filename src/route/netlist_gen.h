@@ -1,0 +1,41 @@
+/// \file netlist_gen.h
+/// Synthetic chip generator.
+///
+/// Substitution for the paper's industrial 5nm designs (Table III): we
+/// reproduce the *shape* of those workloads — layer counts from Table III,
+/// scaled net counts, a long-tailed net size distribution matching the
+/// Table I/II instance buckets, clustered placement with a fraction of
+/// long-range global nets, and per-sink RATs that make a realistic share of
+/// nets timing-critical. Deterministic given the per-chip seed.
+
+#pragma once
+
+#include "grid/routing_grid.h"
+#include "route/net.h"
+
+namespace cdst {
+
+struct ChipConfig {
+  std::string name;
+  std::size_t num_nets{1000};
+  int num_layers{9};
+  std::int32_t nx{64};
+  std::int32_t ny{64};
+  double capacity{14.0};     ///< tracks per gcell boundary (upper layers)
+  double rat_tightness{1.5}; ///< mean RAT / ideal-delay ratio; lower = harder
+  std::uint64_t seed{1};
+};
+
+/// The eight evaluation chips c1..c8 (Table III), net counts scaled by
+/// `scale` (1.0 reproduces the paper's counts — far too slow for CI; the
+/// bench harnesses default to ~1/100).
+std::vector<ChipConfig> paper_chip_configs(double scale);
+
+/// Routing grid for a chip: alternating-direction layer stack with wire
+/// types, linear delays from the repeater-chain model.
+RoutingGrid make_chip_grid(const ChipConfig& config);
+
+/// Deterministic synthetic netlist for the chip.
+Netlist generate_netlist(const ChipConfig& config, const RoutingGrid& grid);
+
+}  // namespace cdst

@@ -1,0 +1,144 @@
+#include "route/router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cdst {
+
+RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
+                        const RouterOptions& options) {
+  CDST_CHECK(options.iterations >= 1);
+  WallTimer timer;
+
+  const std::size_t num_nets = netlist.nets.size();
+  // Flattened sink indexing.
+  std::vector<std::size_t> sink_offset(num_nets + 1, 0);
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    sink_offset[i + 1] = sink_offset[i] + netlist.nets[i].sinks.size();
+  }
+  const std::size_t num_sinks = sink_offset[num_nets];
+
+  RouterResult result;
+  result.routes.assign(num_nets, {});
+  result.sink_delays.assign(num_sinks, 0.0);
+  result.sink_weights.assign(num_sinks, options.weight_floor);
+
+  // Seed the Lagrange multipliers from RAT criticality: a sink whose budget
+  // is close to its ideal (fastest-possible) delay starts with a high delay
+  // weight, so the very first routing round already trades congestion
+  // against timing sensibly instead of waiting for multiplier ramp-up.
+  std::vector<double> rats(num_sinks);
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    const Net& net = netlist.nets[i];
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const std::size_t flat = sink_offset[i] + s;
+      rats[flat] = net.sinks[s].rat;
+      const double ideal =
+          grid.min_unit_delay() *
+              static_cast<double>(l1_distance(net.source, net.sinks[s].pos)) +
+          2.0 * grid.min_via_delay();
+      if (rats[flat] > 0.0 && ideal > 0.0) {
+        const double criticality = ideal / rats[flat];  // <= 1 if feasible
+        result.sink_weights[flat] = std::clamp(
+            options.weight_init_scale * criticality * criticality,
+            options.weight_floor, options.weight_ceiling);
+      }
+    }
+  }
+
+  CongestionCosts costs(grid, options.congestion);
+
+  OracleParams oracle = options.oracle;
+  const int threads = std::max(1, options.threads);
+  const std::size_t batch = threads == 1
+                                ? 1
+                                : static_cast<std::size_t>(
+                                      std::max(1, options.batch_size));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (std::size_t lo = 0; lo < num_nets; lo += batch) {
+      const std::size_t hi = std::min(num_nets, lo + batch);
+      // Rip up the whole batch so its nets price edges without their own
+      // (or each other's previous) usage, then route against the frozen
+      // snapshot — in parallel when threads > 1.
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!result.routes[i].empty()) {
+          costs.add_usage(result.routes[i], -1.0);
+        }
+      }
+      std::vector<OracleOutcome> outcomes(hi - lo);
+      auto route_one = [&](std::size_t i) {
+        const Net& net = netlist.nets[i];
+        if (net.sinks.empty()) return;
+        const std::vector<double> weights(
+            result.sink_weights.begin() +
+                static_cast<std::ptrdiff_t>(sink_offset[i]),
+            result.sink_weights.begin() +
+                static_cast<std::ptrdiff_t>(sink_offset[i + 1]));
+        OracleParams p = oracle;
+        p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
+                 static_cast<std::uint64_t>(iter);
+        outcomes[i - lo] =
+            route_net(grid, costs, net, weights, options.method, p);
+      };
+      if (threads == 1 || hi - lo == 1) {
+        for (std::size_t i = lo; i < hi; ++i) route_one(i);
+      } else {
+        std::atomic<std::size_t> next{lo};
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int tt = 0; tt < threads; ++tt) {
+          pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < hi;
+                 i = next.fetch_add(1)) {
+              route_one(i);
+            }
+          });
+        }
+        for (std::thread& th : pool) th.join();
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Net& net = netlist.nets[i];
+        if (net.sinks.empty()) continue;
+        OracleOutcome& out = outcomes[i - lo];
+        costs.add_usage(out.grid_edges, +1.0);
+        result.routes[i] = std::move(out.grid_edges);
+        for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+          result.sink_delays[sink_offset[i] + s] = out.eval.sink_delays[s];
+        }
+      }
+    }
+    // Lagrangean step: slacks drive the delay-weight multipliers for the
+    // next round.
+    const std::vector<double> slacks =
+        compute_slacks(result.sink_delays, rats);
+    if (iter + 1 < options.iterations) {
+      // Decreasing subgradient step stabilizes the multipliers.
+      const double step = 1.0 / std::sqrt(static_cast<double>(iter + 1));
+      update_delay_weights(slacks, options.weight_scale, options.weight_floor,
+                           options.weight_ceiling, result.sink_weights, step);
+    }
+    if (options.verbose) {
+      const TimingSummary ts = summarize_slacks(slacks);
+      CDST_LOG(kInfo) << netlist.name << " " << method_name(options.method)
+                      << " iter " << iter << ": WS " << ts.worst_slack
+                      << " TNS " << ts.total_negative_slack << " ACE4 "
+                      << compute_ace(costs).ace4;
+    }
+  }
+
+  result.timing =
+      summarize_slacks(compute_slacks(result.sink_delays, rats));
+  result.congestion = compute_ace(costs);
+  result.wires = compute_wire_stats(grid, result.routes);
+  result.nets_routed = num_nets;
+  result.walltime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace cdst

@@ -1,0 +1,65 @@
+/// \file router.h
+/// Timing-constrained global router.
+///
+/// A simplified version of the resource-sharing / Lagrangean-relaxation
+/// framework of [13] (Held et al., "Global Routing With Timing Constraints"):
+/// edges are priced exponentially in their utilization, nets are routed by a
+/// Steiner oracle against those prices, and per-sink delay weights — the
+/// Lagrange multipliers of the timing constraints — are updated
+/// multiplicatively from slacks between rounds. The cost-distance Steiner
+/// tree problem "arises as the Lagrangean subproblem" (Section IV); this
+/// router generates exactly those instances and is the harness behind
+/// Tables IV and V.
+
+#pragma once
+
+#include "grid/cost_model.h"
+#include "route/metrics.h"
+#include "route/net.h"
+#include "route/steiner_oracle.h"
+#include "timing/slack.h"
+
+namespace cdst {
+
+struct RouterOptions {
+  SteinerMethod method{SteinerMethod::kCD};
+  int iterations{6};  ///< rip-up & re-route rounds (>= 1)
+  OracleParams oracle;
+  CongestionParams congestion;
+  /// Lagrangean weight update: slack magnitude (ps) that doubles a weight.
+  double weight_scale{25.0};
+  double weight_floor{5e-4};
+  double weight_ceiling{64.0};
+  /// Scale of the RAT-criticality seed for the initial multipliers
+  /// (w0 = weight_init_scale * criticality^2).
+  double weight_init_scale{3.0};
+  std::uint64_t seed{1};
+  bool verbose{false};
+  /// Worker threads for the per-net oracle calls. Nets are processed in
+  /// batches: each batch is ripped up, routed in parallel against a frozen
+  /// price snapshot, then committed — results are deterministic and
+  /// independent of the thread count (the paper's runs use 16 threads).
+  int threads{1};
+  /// Nets per parallel batch (larger batches = more parallelism but prices
+  /// within a batch do not see each other's usage).
+  int batch_size{48};
+};
+
+struct RouterResult {
+  TimingSummary timing;
+  CongestionReport congestion;
+  WireStats wires;
+  double walltime_s{0.0};
+  std::size_t nets_routed{0};
+  /// Final routed tree (grid edges) per net, for inspection/tests.
+  std::vector<std::vector<EdgeId>> routes;
+  /// Final per-sink delays, flattened in netlist order.
+  std::vector<double> sink_delays;
+  /// Final per-sink delay weights (the Lagrange multipliers).
+  std::vector<double> sink_weights;
+};
+
+RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
+                        const RouterOptions& options);
+
+}  // namespace cdst

@@ -1,0 +1,106 @@
+#include "route/steiner_oracle.h"
+
+#include <algorithm>
+
+#include "topology/prim_dijkstra.h"
+#include "topology/rsmt.h"
+#include "topology/shallow_light.h"
+
+namespace cdst {
+namespace {
+
+Rect net_window_box(const Net& net, const OracleParams& p) {
+  Rect box;
+  box.expand(net.source.xy());
+  for (const SinkPin& s : net.sinks) box.expand(s.pos.xy());
+  const auto margin = static_cast<std::int32_t>(
+      p.window_margin +
+      p.window_margin_frac * static_cast<double>(box.half_perimeter()));
+  return box.inflated(margin);
+}
+
+}  // namespace
+
+OracleInstance::OracleInstance(const RoutingGrid& grid,
+                               const CongestionCosts& costs, const Net& net,
+                               const std::vector<double>& sink_weights,
+                               const OracleParams& params)
+    : window_(grid, costs, net_window_box(net, params)),
+      future_cost_(window_) {
+  CDST_CHECK(sink_weights.size() == net.sinks.size());
+  instance_.graph = &window_.graph();
+  instance_.cost = &window_.edge_costs();
+  instance_.delay = &window_.edge_delays();
+  instance_.dbif = params.dbif;
+  instance_.eta = params.eta;
+  instance_.root = window_.from_grid_vertex(grid.vertex_at(net.source));
+  CDST_CHECK(instance_.root != kInvalidVertex);
+  root_xy_ = net.source.xy();
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    const VertexId wv =
+        window_.from_grid_vertex(grid.vertex_at(net.sinks[s].pos));
+    CDST_CHECK(wv != kInvalidVertex);
+    instance_.sinks.push_back(Terminal{wv, sink_weights[s]});
+    plane_sinks_.push_back(PlaneTerminal{net.sinks[s].pos.xy(),
+                                         sink_weights[s], net.sinks[s].rat});
+  }
+}
+
+double OracleInstance::delay_per_unit() const {
+  return window_.grid().min_unit_delay();
+}
+
+OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
+                         const OracleParams& params) {
+  OracleOutcome out;
+  if (method == SteinerMethod::kCD) {
+    SolverOptions opts = params.cd;
+    opts.seed = params.seed;
+    opts.future_cost = &oi.future_cost();
+    SolveResult r = solve_cost_distance(oi.instance(), opts);
+    out.eval = r.eval;
+    out.grid_edges = oi.window().to_grid_edges(r.tree.all_edges());
+    return out;
+  }
+
+  PlaneTopology topo;
+  switch (method) {
+    case SteinerMethod::kL1:
+      topo = rsmt_topology(oi.root_xy(), oi.plane_sinks());
+      break;
+    case SteinerMethod::kSL: {
+      ShallowLightParams sl;
+      sl.epsilon = params.sl_epsilon;
+      sl.delay_per_unit = oi.delay_per_unit();
+      sl.dbif = params.dbif;
+      sl.eta = params.eta;
+      topo = shallow_light_topology(oi.root_xy(), oi.plane_sinks(), sl);
+      break;
+    }
+    case SteinerMethod::kPD: {
+      PrimDijkstraParams pd;
+      pd.gamma = params.pd_gamma;
+      pd.delay_per_unit = oi.delay_per_unit();
+      pd.dbif = params.dbif;
+      pd.eta = params.eta;
+      topo = prim_dijkstra_topology(oi.root_xy(), oi.plane_sinks(), pd);
+      break;
+    }
+    case SteinerMethod::kCD:
+      break;  // handled above
+  }
+  EmbedResult r = embed_topology(topo, oi.instance());
+  out.eval = r.eval;
+  out.grid_edges = oi.window().to_grid_edges(r.tree.all_edges());
+  return out;
+}
+
+OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
+                        const Net& net,
+                        const std::vector<double>& sink_weights,
+                        SteinerMethod method, const OracleParams& params) {
+  OracleInstance oi(grid, costs, net, sink_weights, params);
+  return run_method(oi, method, params);
+}
+
+}  // namespace cdst

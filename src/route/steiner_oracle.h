@@ -1,0 +1,77 @@
+/// \file steiner_oracle.h
+/// Per-net Steiner oracles: materializes one net's cost-distance instance on
+/// a routing window and solves it with any of the four Section IV-A methods.
+/// Shared by the global router (Tables IV/V) and the apples-to-apples
+/// instance benchmarks (Tables I/II).
+
+#pragma once
+
+#include <memory>
+
+#include "core/cost_distance.h"
+#include "embed/embedder.h"
+#include "grid/window.h"
+#include "route/net.h"
+#include "topology/topology.h"
+
+namespace cdst {
+
+struct OracleParams {
+  double dbif{0.0};
+  double eta{0.25};
+  double sl_epsilon{0.25};
+  double pd_gamma{0.5};
+  /// Window inflation beyond the net bounding box, in gcells plus a fraction
+  /// of the half-perimeter.
+  std::int32_t window_margin{6};
+  double window_margin_frac{0.15};
+  std::uint64_t seed{1};
+  SolverOptions cd;  ///< cost-distance solver knobs (future_cost set per net)
+};
+
+/// One net's Steiner problem, materialized on a routing window with current
+/// congestion prices. Self-contained: owns the window and all vectors the
+/// embedded CostDistanceInstance points into (not copyable/movable).
+class OracleInstance {
+ public:
+  OracleInstance(const RoutingGrid& grid, const CongestionCosts& costs,
+                 const Net& net, const std::vector<double>& sink_weights,
+                 const OracleParams& params);
+
+  OracleInstance(const OracleInstance&) = delete;
+  OracleInstance& operator=(const OracleInstance&) = delete;
+
+  const CostDistanceInstance& instance() const { return instance_; }
+  const RoutingWindow& window() const { return window_; }
+  const WindowFutureCost& future_cost() const { return future_cost_; }
+  const std::vector<PlaneTerminal>& plane_sinks() const {
+    return plane_sinks_;
+  }
+  Point2 root_xy() const { return root_xy_; }
+  /// Fastest linear delay per gcell, for plane delay estimates in SL/PD.
+  double delay_per_unit() const;
+
+ private:
+  RoutingWindow window_;
+  WindowFutureCost future_cost_;
+  CostDistanceInstance instance_;
+  std::vector<PlaneTerminal> plane_sinks_;
+  Point2 root_xy_;
+};
+
+struct OracleOutcome {
+  TreeEvaluation eval;
+  std::vector<EdgeId> grid_edges;  ///< tree edges in full-grid ids
+};
+
+/// Solves the materialized instance with the chosen method.
+OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
+                         const OracleParams& params);
+
+/// Convenience wrapper: materialize + solve in one step (the router's path).
+OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
+                        const Net& net,
+                        const std::vector<double>& sink_weights,
+                        SteinerMethod method, const OracleParams& params);
+
+}  // namespace cdst

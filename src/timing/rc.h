@@ -1,0 +1,34 @@
+/// \file rc.h
+/// Elementary RC parameters of the technology used by the repeater-chain
+/// model. Units: resistance in ohm, capacitance in fF, delay in ps
+/// (1 ohm * 1 fF = 0.001 ps).
+
+#pragma once
+
+namespace cdst {
+
+constexpr double kPsPerOhmFf = 0.001;
+
+/// Repeater (buffer) electrical parameters (strong repeater in a ~5nm-class
+/// technology; the input capacitance drives the bifurcation penalty dbif).
+struct BufferSpec {
+  double out_resistance{60.0};   ///< ohm
+  double in_capacitance{8.0};    ///< fF
+  double intrinsic_delay{12.0};  ///< ps
+};
+
+/// Wire RC per gcell (~25 um of wire) for one (layer, wire type)
+/// combination.
+struct WireRc {
+  double r_per_gcell{100.0};  ///< ohm / gcell
+  double c_per_gcell{5.0};    ///< fF / gcell
+
+  /// Wider wires scale resistance down by their width and capacitance up
+  /// slightly (fringe); this mirrors how wide wire types buy delay with
+  /// routing capacity.
+  WireRc scaled_by_width(double width) const {
+    return WireRc{r_per_gcell / width, c_per_gcell * (1.0 + 0.1 * (width - 1.0))};
+  }
+};
+
+}  // namespace cdst

@@ -1,0 +1,64 @@
+#include "timing/repeater_chain.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+RepeaterChain optimal_repeater_chain(const WireRc& wire,
+                                     const BufferSpec& buf) {
+  CDST_CHECK(wire.r_per_gcell > 0.0 && wire.c_per_gcell > 0.0);
+  const double fixed = buf.intrinsic_delay / kPsPerOhmFf +
+                       buf.out_resistance * buf.in_capacitance;  // ohm*fF
+  const double rc = wire.r_per_gcell * wire.c_per_gcell;
+  RepeaterChain out;
+  out.spacing = std::sqrt(2.0 * fixed / rc);
+  // t(L*)/L* with the optimal spacing; expand to avoid cancellation:
+  //   = R_b c + r C_b + sqrt(2 (t_b + R_b C_b) r c)
+  const double slope_ohmff = buf.out_resistance * wire.c_per_gcell +
+                             wire.r_per_gcell * buf.in_capacitance +
+                             std::sqrt(2.0 * fixed * rc);
+  out.delay_per_gcell = slope_ohmff * kPsPerOhmFf;
+  return out;
+}
+
+double mid_segment_cap_delay(const WireRc& wire, const BufferSpec& buf) {
+  const RepeaterChain chain = optimal_repeater_chain(wire, buf);
+  const double upstream_r =
+      buf.out_resistance + wire.r_per_gcell * chain.spacing / 2.0;
+  return upstream_r * buf.in_capacitance * kPsPerOhmFf;
+}
+
+double compute_dbif(const std::vector<LayerSpec>& layers,
+                    const BufferSpec& buf) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t z = 1; z < layers.size(); ++z) {
+    const LayerSpec& layer = layers[z];
+    const WireRc base{layer.r_per_gcell, layer.c_per_gcell};
+    for (const WireType& wt : layer.wire_types) {
+      const double d = mid_segment_cap_delay(base.scaled_by_width(wt.width), buf);
+      if (d < best) best = d;
+    }
+  }
+  CDST_CHECK_MSG(std::isfinite(best), "layer stack has no buffable layer");
+  return best;
+}
+
+double apply_linear_delay_model(std::vector<LayerSpec>& layers,
+                                const BufferSpec& buf) {
+  double fastest = std::numeric_limits<double>::infinity();
+  for (LayerSpec& layer : layers) {
+    const WireRc base{layer.r_per_gcell, layer.c_per_gcell};
+    for (WireType& wt : layer.wire_types) {
+      const RepeaterChain chain =
+          optimal_repeater_chain(base.scaled_by_width(wt.width), buf);
+      wt.delay_per_gcell = chain.delay_per_gcell;
+      if (chain.delay_per_gcell < fastest) fastest = chain.delay_per_gcell;
+    }
+  }
+  return fastest;
+}
+
+}  // namespace cdst

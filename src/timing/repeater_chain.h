@@ -1,0 +1,49 @@
+/// \file repeater_chain.h
+/// Optimally spaced uniform repeater chains.
+///
+/// Before buffering, global routing estimates delay with a *linear* model:
+/// an optimally buffered wire has constant delay per unit length. This module
+/// derives that slope per (layer, wire type) from Elmore RC, and computes the
+/// paper's bifurcation penalty dbif: "the delay increase when adding the
+/// input capacitance in the middle of a single net, minimizing over all
+/// layers and wire types" (Section I, following [4]).
+
+#pragma once
+
+#include <vector>
+
+#include "grid/layer.h"
+#include "timing/rc.h"
+
+namespace cdst {
+
+struct RepeaterChain {
+  double spacing{0.0};         ///< optimal buffer spacing (gcells)
+  double delay_per_gcell{0.0}; ///< linear delay slope (ps/gcell)
+};
+
+/// Optimal uniform repeater chain over a wire with the given RC.
+///
+/// One stage of length L has Elmore delay
+///   t(L) = t_b + R_b (c L + C_b) + r L (c L / 2 + C_b),
+/// so delay per unit t(L)/L is minimized at
+///   L* = sqrt(2 (t_b + R_b C_b) / (r c)).
+RepeaterChain optimal_repeater_chain(const WireRc& wire, const BufferSpec& buf);
+
+/// Delay increase from attaching an extra input capacitance in the middle of
+/// one optimally spaced stage: the added cap sees the upstream resistance
+/// R_b + r L*/2.
+double mid_segment_cap_delay(const WireRc& wire, const BufferSpec& buf);
+
+/// dbif over a layer stack: minimum mid-segment cap delay over all layers
+/// and wire types (vias and the pin layer z = 0 excluded, as buffers are not
+/// placed there).
+double compute_dbif(const std::vector<LayerSpec>& layers,
+                    const BufferSpec& buf);
+
+/// Overwrites every wire type's delay_per_gcell in the stack with the
+/// repeater-chain slope for its (layer RC, width). Returns the fastest slope.
+double apply_linear_delay_model(std::vector<LayerSpec>& layers,
+                                const BufferSpec& buf);
+
+}  // namespace cdst

@@ -1,0 +1,54 @@
+#include "timing/slack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdst {
+
+std::vector<double> compute_slacks(const std::vector<double>& arrivals,
+                                   const std::vector<double>& rats) {
+  CDST_CHECK(arrivals.size() == rats.size());
+  std::vector<double> slacks(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    slacks[i] = rats[i] - arrivals[i];
+  }
+  return slacks;
+}
+
+TimingSummary summarize_slacks(const std::vector<double>& slacks) {
+  TimingSummary s;
+  s.num_sinks = slacks.size();
+  s.worst_slack = slacks.empty() ? 0.0 : slacks.front();
+  for (const double sl : slacks) {
+    s.worst_slack = std::min(s.worst_slack, sl);
+    if (sl < 0.0) {
+      s.total_negative_slack += sl;
+      ++s.num_violations;
+    }
+  }
+  return s;
+}
+
+void update_delay_weights(const std::vector<double>& slacks, double scale,
+                          double floor_weight, double ceiling_weight,
+                          std::vector<double>& weights, double step) {
+  CDST_CHECK(slacks.size() == weights.size());
+  CDST_CHECK(scale > 0.0 && floor_weight > 0.0 &&
+             ceiling_weight >= floor_weight);
+  CDST_CHECK(step > 0.0);
+  for (std::size_t i = 0; i < slacks.size(); ++i) {
+    double w = weights[i];
+    if (slacks[i] < 0.0) {
+      // Violations always at least root-2 the weight (before damping);
+      // large violations ramp up to 16x per round.
+      w *= std::exp2(step * std::clamp(-slacks[i] / scale, 0.5, 4.0));
+    } else if (slacks[i] > 0.25 * scale) {
+      // Gentle decay only for comfortably met sinks; near-critical sinks
+      // keep their multiplier to avoid oscillation.
+      w *= std::exp2(-step * 0.25 * std::min(1.0, slacks[i] / (4.0 * scale)));
+    }
+    weights[i] = std::clamp(w, floor_weight, ceiling_weight);
+  }
+}
+
+}  // namespace cdst

@@ -1,0 +1,37 @@
+/// \file slack.h
+/// Slack bookkeeping for the timing-constrained router: per-sink required
+/// arrival times (RATs) against tree delays give slacks; worst slack (WS) and
+/// total negative slack (TNS) are the paper's Table IV/V timing metrics.
+
+#pragma once
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+struct TimingSummary {
+  double worst_slack{0.0};         ///< WS (ps); negative means violation
+  double total_negative_slack{0.0};///< TNS (ps); sum of negative slacks (<= 0)
+  std::size_t num_violations{0};   ///< sinks with slack < 0
+  std::size_t num_sinks{0};
+};
+
+/// slack(s) = rat(s) - arrival(s), elementwise.
+std::vector<double> compute_slacks(const std::vector<double>& arrivals,
+                                   const std::vector<double>& rats);
+
+/// Aggregates WS / TNS over per-sink slacks.
+TimingSummary summarize_slacks(const std::vector<double>& slacks);
+
+/// Multiplicative Lagrangean weight update: sinks with negative slack get
+/// their delay weight scaled up, others decay toward the floor. `scale` is
+/// the slack magnitude that doubles a weight in one round; `step` damps the
+/// exponent (pass a decreasing schedule, e.g. 1/sqrt(round), to stabilize
+/// the multipliers like a subgradient method).
+void update_delay_weights(const std::vector<double>& slacks, double scale,
+                          double floor_weight, double ceiling_weight,
+                          std::vector<double>& weights, double step = 1.0);
+
+}  // namespace cdst

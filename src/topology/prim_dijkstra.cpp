@@ -1,0 +1,138 @@
+#include "topology/prim_dijkstra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/instance.h"  // optimal_lambda
+
+namespace cdst {
+namespace {
+
+/// Closest point to q within the bounding box of segment (a, b) — every
+/// monotone staircase between a and b can pass through it without length
+/// increase, so it is the optimal Steiner split point on that tree edge.
+Point2 clamp_to_bbox(const Point2& q, const Point2& a, const Point2& b) {
+  return Point2{std::clamp(q.x, std::min(a.x, b.x), std::max(a.x, b.x)),
+                std::clamp(q.y, std::min(a.y, b.y), std::max(a.y, b.y))};
+}
+
+}  // namespace
+
+PlaneTopology prim_dijkstra_topology(const Point2& root,
+                                     const std::vector<PlaneTerminal>& sinks,
+                                     const PrimDijkstraParams& params) {
+  const double gamma = std::clamp(params.gamma, 0.0, 1.0);
+  // Penalty expressed in plane length units so it can blend with distances.
+  const double bif_len = params.delay_per_unit > 0.0
+                             ? params.dbif / params.delay_per_unit
+                             : 0.0;
+
+  PlaneTopology topo;
+  topo.nodes.push_back(PlaneTopology::Node{root, -1, -1});
+  std::vector<double> pathlen{0.0};       // per node, plane units
+  std::vector<double> subtree_w{0.0};     // delay weight below each node
+
+  std::vector<bool> added(sinks.size(), false);
+
+  for (std::size_t round = 0; round < sinks.size(); ++round) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_sink = 0;
+    std::size_t best_node = 0;   // attach node (or edge child when splitting)
+    bool best_is_edge = false;
+    Point2 best_split;
+
+    const auto ch = topo.children();
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      if (added[s]) continue;
+      const Point2 ps = sinks[s].pos;
+      const double ws = sinks[s].weight;
+      // Attach directly at an existing node.
+      for (std::size_t u = 0; u < topo.nodes.size(); ++u) {
+        const double dist =
+            static_cast<double>(l1_distance(topo.nodes[u].pos, ps));
+        double penalty = 0.0;
+        if (bif_len > 0.0 && !ch[u].empty()) {
+          // The new branch competes with the subtree already below u.
+          penalty = optimal_lambda(ws, subtree_w[u], params.eta) * bif_len;
+        }
+        const double cost = gamma * pathlen[u] + dist + penalty;
+        if (cost < best) {
+          best = cost;
+          best_sink = s;
+          best_node = u;
+          best_is_edge = false;
+        }
+      }
+      // Attach by splitting an existing edge (child c, parent p) at the
+      // closest staircase point.
+      for (std::size_t c = 1; c < topo.nodes.size(); ++c) {
+        const auto p = static_cast<std::size_t>(topo.nodes[c].parent);
+        const Point2 split = clamp_to_bbox(ps, topo.nodes[p].pos,
+                                           topo.nodes[c].pos);
+        const double along =
+            static_cast<double>(l1_distance(topo.nodes[p].pos, split));
+        const double dist = static_cast<double>(l1_distance(split, ps));
+        double penalty = 0.0;
+        if (bif_len > 0.0) {
+          penalty = optimal_lambda(ws, subtree_w[c], params.eta) * bif_len;
+        }
+        const double cost = gamma * (pathlen[p] + along) + dist + penalty;
+        if (cost < best) {
+          best = cost;
+          best_sink = s;
+          best_node = c;
+          best_is_edge = true;
+          best_split = split;
+        }
+      }
+    }
+    CDST_CHECK(std::isfinite(best));
+
+    const PlaneTerminal& sk = sinks[best_sink];
+    std::size_t attach;
+    if (best_is_edge) {
+      const auto c = best_node;
+      const auto p = static_cast<std::size_t>(topo.nodes[c].parent);
+      if (best_split == topo.nodes[p].pos) {
+        attach = p;  // degenerate split at the parent end
+      } else if (best_split == topo.nodes[c].pos) {
+        attach = c;  // degenerate split at the child end
+      } else {
+        topo.nodes.push_back(PlaneTopology::Node{
+            best_split, static_cast<std::int32_t>(p), -1});
+        attach = topo.nodes.size() - 1;
+        topo.nodes[c].parent = static_cast<std::int32_t>(attach);
+        pathlen.push_back(pathlen[p] +
+                          static_cast<double>(l1_distance(topo.nodes[p].pos,
+                                                          best_split)));
+        subtree_w.push_back(subtree_w[c]);
+      }
+    } else {
+      attach = best_node;
+    }
+
+    topo.nodes.push_back(PlaneTopology::Node{
+        sk.pos, static_cast<std::int32_t>(attach),
+        static_cast<std::int32_t>(best_sink)});
+    pathlen.push_back(pathlen[attach] +
+                      static_cast<double>(l1_distance(topo.nodes[attach].pos,
+                                                      sk.pos)));
+    subtree_w.push_back(sk.weight);
+    // Propagate the new weight up to the root.
+    for (std::int32_t a = static_cast<std::int32_t>(attach); a >= 0;
+         a = topo.nodes[static_cast<std::size_t>(a)].parent) {
+      subtree_w[static_cast<std::size_t>(a)] += sk.weight;
+    }
+    added[best_sink] = true;
+  }
+
+  // An edge split rewires an *earlier* child under a *later* split node,
+  // breaking the parent-first invariant; restore it.
+  reorder_parent_first(topo);
+  topo.canonicalize();
+  topo.validate(sinks.size());
+  return topo;
+}
+
+}  // namespace cdst

@@ -1,0 +1,31 @@
+/// \file prim_dijkstra.h
+/// Prim-Dijkstra topology (the "PD" baseline of Section IV-A, after Alpert
+/// et al. [2], [3]).
+///
+/// "Sinks are iteratively added into the root-component. A sink s and an
+/// edge e in the root component are chosen to insert a new Steiner vertex
+/// into e connecting s such that a weighted sum of total length and path
+/// length to s is minimized. ... We can distribute the delay penalty to the
+/// two branches, when selecting the edge of the root component."
+
+#pragma once
+
+#include "topology/topology.h"
+
+namespace cdst {
+
+struct PrimDijkstraParams {
+  /// Blend between Prim (0: pure total length) and Dijkstra (1: pure path
+  /// length). The classic PD trade-off parameter.
+  double gamma{0.5};
+  /// Linear delay estimate per plane unit (for penalty conversion).
+  double delay_per_unit{1.0};
+  double dbif{0.0};
+  double eta{0.5};
+};
+
+PlaneTopology prim_dijkstra_topology(const Point2& root,
+                                     const std::vector<PlaneTerminal>& sinks,
+                                     const PrimDijkstraParams& params);
+
+}  // namespace cdst

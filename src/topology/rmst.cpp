@@ -1,0 +1,57 @@
+#include "topology/rmst.h"
+
+#include <limits>
+
+namespace cdst {
+
+PlaneTopology rectilinear_mst(const Point2& root,
+                              const std::vector<PlaneTerminal>& sinks) {
+  const std::size_t k = sinks.size() + 1;
+  std::vector<Point2> pts;
+  pts.reserve(k);
+  pts.push_back(root);
+  for (const PlaneTerminal& s : sinks) pts.push_back(s.pos);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(k, kInf);
+  std::vector<std::int32_t> best_from(k, -1);
+  std::vector<bool> in_tree(k, false);
+  std::vector<std::int32_t> node_of(k, -1);  // point index -> topology node
+
+  PlaneTopology topo;
+  topo.nodes.push_back(PlaneTopology::Node{root, -1, -1});
+  in_tree[0] = true;
+  node_of[0] = 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    best[i] = l1_distance(pts[i], root);
+    best_from[i] = 0;
+  }
+
+  for (std::size_t added = 1; added < k; ++added) {
+    std::int64_t min_d = kInf;
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < k; ++i) {
+      if (!in_tree[i] && best[i] < min_d) {
+        min_d = best[i];
+        pick = i;
+      }
+    }
+    CDST_CHECK(pick != 0);
+    in_tree[pick] = true;
+    topo.nodes.push_back(PlaneTopology::Node{
+        pts[pick], node_of[static_cast<std::size_t>(best_from[pick])],
+        static_cast<std::int32_t>(pick - 1)});
+    node_of[pick] = static_cast<std::int32_t>(topo.nodes.size() - 1);
+    for (std::size_t i = 1; i < k; ++i) {
+      if (in_tree[i]) continue;
+      const std::int64_t d = l1_distance(pts[i], pts[pick]);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = static_cast<std::int32_t>(pick);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace cdst

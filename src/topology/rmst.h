@@ -1,0 +1,16 @@
+/// \file rmst.h
+/// Rectilinear minimum spanning tree over terminals (Prim's algorithm).
+/// The starting point of the L1 and SL topology constructions.
+
+#pragma once
+
+#include "topology/topology.h"
+
+namespace cdst {
+
+/// Spanning arborescence over {root} + sinks, minimizing total L1 length.
+/// Runs in O(k^2) which is ample for net-sized terminal counts.
+PlaneTopology rectilinear_mst(const Point2& root,
+                              const std::vector<PlaneTerminal>& sinks);
+
+}  // namespace cdst

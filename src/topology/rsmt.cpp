@@ -1,0 +1,97 @@
+#include "topology/rsmt.h"
+
+#include <algorithm>
+
+#include "topology/rmst.h"
+
+namespace cdst {
+
+Point2 l1_median(const Point2& a, const Point2& b, const Point2& c) {
+  auto med = [](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return std::max(std::min(x, y), std::min(std::max(x, y), z));
+  };
+  return Point2{med(a.x, b.x, c.x), med(a.y, b.y, c.y)};
+}
+
+namespace {
+
+/// One steinerization round: finds the best positive-gain median insertion
+/// and applies it. Returns false when no improvement exists.
+bool steinerize_once(PlaneTopology& topo) {
+  const auto ch = topo.children();
+  std::int64_t best_gain = 0;
+  std::size_t best_u = 0;
+  std::int32_t best_a = -1;  // neighbour indices (node ids); -2 = parent
+  std::int32_t best_b = -1;
+  Point2 best_m;
+
+  const std::size_t nn = topo.nodes.size();
+  for (std::size_t u = 0; u < nn; ++u) {
+    // Incident edges: to parent (if any) and to children.
+    std::vector<std::int32_t> nbrs = ch[u];
+    if (topo.nodes[u].parent >= 0) nbrs.push_back(topo.nodes[u].parent);
+    const Point2 pu = topo.nodes[u].pos;
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+      for (std::size_t jj = i + 1; jj < nbrs.size(); ++jj) {
+        const Point2 pa = topo.nodes[static_cast<std::size_t>(nbrs[i])].pos;
+        const Point2 pb = topo.nodes[static_cast<std::size_t>(nbrs[jj])].pos;
+        const Point2 m = l1_median(pu, pa, pb);
+        const std::int64_t gain =
+            l1_distance(pu, pa) + l1_distance(pu, pb) -
+            (l1_distance(pu, m) + l1_distance(m, pa) + l1_distance(m, pb));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_u = u;
+          best_a = nbrs[i];
+          best_b = nbrs[jj];
+          best_m = m;
+        }
+      }
+    }
+  }
+  if (best_gain <= 0) return false;
+
+  // Insert Steiner node m between u and its two neighbours. Rooted rewiring
+  // distinguishes whether one neighbour is u's parent.
+  const auto parent_of_u = topo.nodes[best_u].parent;
+  const bool a_is_parent = best_a == parent_of_u &&
+                           static_cast<std::int32_t>(best_u) !=
+                               best_a;  // (root has parent -1 != any id)
+  const bool b_is_parent = best_b == parent_of_u && !a_is_parent;
+
+  topo.nodes.push_back(PlaneTopology::Node{best_m, -1, -1});
+  const auto m_id = static_cast<std::int32_t>(topo.nodes.size() - 1);
+
+  if (a_is_parent || b_is_parent) {
+    const std::int32_t par = a_is_parent ? best_a : best_b;
+    const std::int32_t child = a_is_parent ? best_b : best_a;
+    // parent(u) -> m -> {u, child}
+    topo.nodes[static_cast<std::size_t>(m_id)].parent = par;
+    topo.nodes[best_u].parent = m_id;
+    topo.nodes[static_cast<std::size_t>(child)].parent = m_id;
+  } else {
+    // u -> m -> {a, b}
+    topo.nodes[static_cast<std::size_t>(m_id)].parent =
+        static_cast<std::int32_t>(best_u);
+    topo.nodes[static_cast<std::size_t>(best_a)].parent = m_id;
+    topo.nodes[static_cast<std::size_t>(best_b)].parent = m_id;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlaneTopology rsmt_topology(const Point2& root,
+                            const std::vector<PlaneTerminal>& sinks) {
+  PlaneTopology topo = rectilinear_mst(root, sinks);
+  // Bounded number of rounds; each strictly reduces length.
+  const std::size_t max_rounds = 4 * topo.nodes.size() + 16;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    if (!steinerize_once(topo)) break;
+  }
+  reorder_parent_first(topo);
+  topo.canonicalize();
+  return topo;
+}
+
+}  // namespace cdst

@@ -1,0 +1,25 @@
+/// \file rsmt.h
+/// Rectilinear Steiner tree heuristic — the "L1" topology of Section IV-A
+/// ("just computes a short L1 Steiner tree and embeds it optimally").
+///
+/// Construction: rectilinear MST, then iterative median steinerization —
+/// for every vertex and pair of incident edges, the component-wise median of
+/// the three endpoints is the optimal meeting point; inserting it saves
+/// |ua| + |ub| - (|um| + |ma| + |mb|) >= 0 length. Applying positive-gain
+/// medians to a fixpoint yields a steinerized tree within a few percent of
+/// good RSMT heuristics at net-scale terminal counts.
+
+#pragma once
+
+#include "topology/topology.h"
+
+namespace cdst {
+
+/// L1 Steiner topology over {root} + sinks.
+PlaneTopology rsmt_topology(const Point2& root,
+                            const std::vector<PlaneTerminal>& sinks);
+
+/// Component-wise median of three points (the optimal L1 meeting point).
+Point2 l1_median(const Point2& a, const Point2& b, const Point2& c);
+
+}  // namespace cdst

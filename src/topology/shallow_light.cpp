@@ -1,0 +1,150 @@
+#include "topology/shallow_light.h"
+
+#include <algorithm>
+
+#include "core/instance.h"  // optimal_lambda
+#include "topology/rsmt.h"
+
+namespace cdst {
+
+std::vector<double> plane_delays(const PlaneTopology& topo,
+                                 const std::vector<PlaneTerminal>& sinks,
+                                 double delay_per_unit, double dbif,
+                                 double eta) {
+  const std::size_t nn = topo.nodes.size();
+  // Subtree delay weights (reverse sweep; parents precede children).
+  std::vector<double> subw(nn, 0.0);
+  for (std::size_t i = nn; i-- > 0;) {
+    const auto& n = topo.nodes[i];
+    if (n.sink_index >= 0) {
+      subw[i] += sinks[static_cast<std::size_t>(n.sink_index)].weight;
+    }
+    if (n.parent >= 0) subw[static_cast<std::size_t>(n.parent)] += subw[i];
+  }
+  const auto ch = topo.children();
+  std::vector<double> delay(nn, 0.0);
+  for (std::size_t i = 1; i < nn; ++i) {
+    const auto& n = topo.nodes[i];
+    const auto p = static_cast<std::size_t>(n.parent);
+    double dl = delay[p] + delay_per_unit *
+                               static_cast<double>(l1_distance(
+                                   n.pos, topo.nodes[p].pos));
+    if (dbif > 0.0 && ch[p].size() >= 2) {
+      // Flexible redistribution: this branch competes against the combined
+      // weight of its siblings (multi-way branchings decompose into stacked
+      // bifurcations when embedded).
+      const double sibling_w = subw[p] - subw[i] -
+                               (topo.nodes[p].sink_index >= 0
+                                    ? sinks[static_cast<std::size_t>(
+                                              topo.nodes[p].sink_index)]
+                                          .weight
+                                    : 0.0);
+      dl += optimal_lambda(subw[i], std::max(0.0, sibling_w), eta) * dbif;
+    }
+    delay[i] = dl;
+  }
+  return delay;
+}
+
+namespace {
+
+double sink_bound(const PlaneTerminal& s, const Point2& root,
+                  const ShallowLightParams& p) {
+  const double direct =
+      p.delay_per_unit * static_cast<double>(l1_distance(root, s.pos));
+  const double base = s.delay_bound > 0.0 ? std::max(s.delay_bound, direct)
+                                          : direct;
+  return (1.0 + p.epsilon) * base;
+}
+
+/// True if every sink meets its (1+eps) bound under the given delays.
+bool all_bounds_met(const PlaneTopology& topo,
+                    const std::vector<PlaneTerminal>& sinks,
+                    const std::vector<double>& delays, const Point2& root,
+                    const ShallowLightParams& p) {
+  for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+    const auto si = topo.nodes[i].sink_index;
+    if (si < 0) continue;
+    if (delays[i] >
+        sink_bound(sinks[static_cast<std::size_t>(si)], root, p) + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PlaneTopology shallow_light_topology(const Point2& root,
+                                     const std::vector<PlaneTerminal>& sinks,
+                                     const ShallowLightParams& params) {
+  PlaneTopology topo = rsmt_topology(root, sinks);
+  const std::size_t nn = topo.nodes.size();
+
+  // ---- Forward pass: reconnect bound-violating sinks to the root. --------
+  // Nodes are parent-ordered, so one sweep propagates updated delays into
+  // subtrees of rerouted nodes.
+  struct DeletedEdge {
+    std::int32_t node;        ///< rerouted node
+    std::int32_t old_parent;  ///< its former parent
+  };
+  std::vector<DeletedEdge> deleted;
+  {
+    std::vector<double> delay = plane_delays(topo, sinks, params.delay_per_unit,
+                                             params.dbif, params.eta);
+    for (std::size_t i = 1; i < nn; ++i) {
+      const auto si = topo.nodes[i].sink_index;
+      if (si < 0) continue;
+      if (delay[i] >
+          sink_bound(sinks[static_cast<std::size_t>(si)], root, params)) {
+        deleted.push_back(DeletedEdge{static_cast<std::int32_t>(i),
+                                      topo.nodes[i].parent});
+        topo.nodes[i].parent = 0;
+        // Recompute all delays (subtree weights at the root shifted too).
+        delay = plane_delays(topo, sinks, params.delay_per_unit, params.dbif,
+                             params.eta);
+      }
+    }
+  }
+
+  // ---- Reverse pass: try re-activating deleted edges in reverse order to
+  // serve the former predecessor through the rerouted (now fast) node. -----
+  for (std::size_t di = deleted.size(); di-- > 0;) {
+    const std::int32_t v = deleted[di].node;
+    const std::int32_t p = deleted[di].old_parent;
+    if (p <= 0) continue;  // root or already gone
+    const auto pu = static_cast<std::size_t>(p);
+    // Reversing makes p a child of v; reject if that creates a cycle (v must
+    // not be a descendant of p any more).
+    bool cycle = false;
+    for (std::int32_t a = v; a >= 0; a = topo.nodes[static_cast<std::size_t>(a)].parent) {
+      if (a == p) {
+        cycle = true;
+        break;
+      }
+    }
+    if (cycle) continue;
+    const std::int64_t old_len =
+        l1_distance(topo.nodes[pu].pos,
+                    topo.nodes[static_cast<std::size_t>(topo.nodes[pu].parent)].pos);
+    const std::int64_t new_len =
+        l1_distance(topo.nodes[pu].pos, topo.nodes[static_cast<std::size_t>(v)].pos);
+    if (new_len >= old_len) continue;  // must save cost
+
+    const std::int32_t saved_parent = topo.nodes[pu].parent;
+    topo.nodes[pu].parent = v;
+    const std::vector<double> delay = plane_delays(
+        topo, sinks, params.delay_per_unit, params.dbif, params.eta);
+    if (!all_bounds_met(topo, sinks, delay, root, params)) {
+      topo.nodes[pu].parent = saved_parent;  // revert
+    }
+  }
+
+  // Parent order may be violated by reversals; normalize.
+  reorder_parent_first(topo);
+  topo.canonicalize();
+  topo.validate(sinks.size());
+  return topo;
+}
+
+}  // namespace cdst

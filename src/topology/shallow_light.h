@@ -1,0 +1,39 @@
+/// \file shallow_light.h
+/// Shallow-light Steiner topology (the "SL" baseline of Section IV-A,
+/// following Held & Rotter [14] / KRY-style reconnection).
+///
+/// "These algorithms start from an approximately minimum-length tree. During
+/// a DFS traversal, sinks are reconnected to the root whenever they violate a
+/// given delay/distance bound by more than a factor (1 + eps). In a reverse
+/// DFS traversal, deleted edges may be re-activated to connect former
+/// predecessors if that saves cost." Bifurcation penalties are redistributed
+/// with the flexible (eta) model of the paper during both passes.
+
+#pragma once
+
+#include "topology/topology.h"
+
+namespace cdst {
+
+struct ShallowLightParams {
+  /// Allowed relative delay-bound violation before reconnection.
+  double epsilon{0.25};
+  /// Linear delay estimate per plane unit (fastest layer/wire combination).
+  double delay_per_unit{1.0};
+  double dbif{0.0};
+  double eta{0.5};
+};
+
+PlaneTopology shallow_light_topology(const Point2& root,
+                                     const std::vector<PlaneTerminal>& sinks,
+                                     const ShallowLightParams& params);
+
+/// Plane delay estimates per node for a topology: delay_per_unit * path
+/// length plus flexibly distributed bifurcation penalties (Eq. (2)) at every
+/// multi-child node. Shared with tests and the PD construction.
+std::vector<double> plane_delays(const PlaneTopology& topo,
+                                 const std::vector<PlaneTerminal>& sinks,
+                                 double delay_per_unit, double dbif,
+                                 double eta);
+
+}  // namespace cdst

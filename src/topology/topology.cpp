@@ -1,0 +1,139 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+
+namespace cdst {
+
+std::vector<std::vector<std::int32_t>> PlaneTopology::children() const {
+  std::vector<std::vector<std::int32_t>> ch(nodes.size());
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    CDST_ASSERT(nodes[i].parent >= 0);
+    ch[static_cast<std::size_t>(nodes[i].parent)].push_back(
+        static_cast<std::int32_t>(i));
+  }
+  return ch;
+}
+
+std::int64_t PlaneTopology::total_length() const {
+  std::int64_t len = 0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    len += l1_distance(nodes[i].pos,
+                       nodes[static_cast<std::size_t>(nodes[i].parent)].pos);
+  }
+  return len;
+}
+
+std::vector<std::int64_t> PlaneTopology::path_lengths() const {
+  std::vector<std::int64_t> pl(nodes.size(), 0);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto p = static_cast<std::size_t>(nodes[i].parent);
+    pl[i] = pl[p] + l1_distance(nodes[i].pos, nodes[p].pos);
+  }
+  return pl;
+}
+
+void PlaneTopology::validate(std::size_t num_sinks) const {
+  CDST_CHECK(!nodes.empty());
+  CDST_CHECK(nodes[0].parent == -1);
+  std::vector<int> seen(num_sinks, 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) {
+      CDST_CHECK(nodes[i].parent >= 0 &&
+                 static_cast<std::size_t>(nodes[i].parent) < i);
+    }
+    if (nodes[i].sink_index >= 0) {
+      CDST_CHECK(static_cast<std::size_t>(nodes[i].sink_index) < num_sinks);
+      ++seen[static_cast<std::size_t>(nodes[i].sink_index)];
+    }
+  }
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    CDST_CHECK_MSG(seen[s] == 1, "topology must contain each sink once");
+  }
+}
+
+void PlaneTopology::canonicalize() {
+  // Iterate because removing a Steiner leaf can create a degree-2 node and
+  // vice versa.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto ch = children();
+    // Splice out degree-2 Steiner nodes (one child, not a terminal).
+    std::vector<bool> drop(nodes.size(), false);
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      if (nodes[i].sink_index >= 0) continue;
+      if (ch[i].size() == 1) {
+        nodes[static_cast<std::size_t>(ch[i][0])].parent = nodes[i].parent;
+        drop[i] = true;
+        changed = true;
+      } else if (ch[i].empty()) {
+        drop[i] = true;  // Steiner leaf
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Compact while preserving parent-before-child order.
+    std::vector<std::int32_t> remap(nodes.size(), -1);
+    std::vector<Node> out;
+    out.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (drop[i]) continue;
+      Node n = nodes[i];
+      if (n.parent >= 0) {
+        // The parent chain may pass through dropped nodes; parents of
+        // dropped nodes were rewired above, but chase transitively in case
+        // of chains.
+        std::int32_t p = n.parent;
+        while (drop[static_cast<std::size_t>(p)]) {
+          p = nodes[static_cast<std::size_t>(p)].parent;
+        }
+        CDST_ASSERT(remap[static_cast<std::size_t>(p)] >= 0);
+        n.parent = remap[static_cast<std::size_t>(p)];
+      }
+      remap[i] = static_cast<std::int32_t>(out.size());
+      out.push_back(n);
+    }
+    nodes = std::move(out);
+  }
+}
+
+void reorder_parent_first(PlaneTopology& topo) {
+  const std::size_t nn = topo.nodes.size();
+  const auto ch = topo.children();
+  std::vector<std::int32_t> order;
+  order.reserve(nn);
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (const std::int32_t c : ch[static_cast<std::size_t>(v)]) {
+      stack.push_back(c);
+    }
+  }
+  CDST_CHECK_MSG(order.size() == nn, "topology is disconnected");
+  std::vector<std::int32_t> remap(nn, -1);
+  for (std::size_t i = 0; i < nn; ++i) {
+    remap[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<PlaneTopology::Node> out(nn);
+  for (std::size_t i = 0; i < nn; ++i) {
+    PlaneTopology::Node n = topo.nodes[static_cast<std::size_t>(order[i])];
+    if (n.parent >= 0) n.parent = remap[static_cast<std::size_t>(n.parent)];
+    out[i] = n;
+  }
+  topo.nodes = std::move(out);
+}
+
+PlaneTopology star_topology(const Point2& root,
+                            const std::vector<PlaneTerminal>& sinks) {
+  PlaneTopology t;
+  t.nodes.push_back(PlaneTopology::Node{root, -1, -1});
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    t.nodes.push_back(PlaneTopology::Node{sinks[s].pos, 0,
+                                          static_cast<std::int32_t>(s)});
+  }
+  return t;
+}
+
+}  // namespace cdst

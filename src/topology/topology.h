@@ -1,0 +1,66 @@
+/// \file topology.h
+/// Plane Steiner topologies.
+///
+/// The three comparison methods of Section IV-A (L1, SL, PD) "first compute a
+/// Steiner topology in the plane, considering total length instead of
+/// congestion cost. Then, this tree is embedded optimally into the global
+/// routing graph". This type is their common output: an arborescence over
+/// plane points whose leaves are the root and the sinks. The embedder
+/// (src/embed) consumes only the structure and leaf labels; the positions
+/// document the plane construction and drive length statistics.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/assert.h"
+
+namespace cdst {
+
+/// A terminal of a plane topology problem.
+struct PlaneTerminal {
+  Point2 pos;
+  double weight{0.0};       ///< delay weight (criticality)
+  double delay_bound{0.0};  ///< required delay budget (ps); 0 = unbounded
+};
+
+struct PlaneTopology {
+  struct Node {
+    Point2 pos;
+    std::int32_t parent{-1};
+    std::int32_t sink_index{-1};  ///< index into the sink list, or -1
+  };
+
+  /// nodes[0] is the root; parents always precede children.
+  std::vector<Node> nodes;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+
+  std::vector<std::vector<std::int32_t>> children() const;
+
+  /// Total rectilinear length of all edges.
+  std::int64_t total_length() const;
+
+  /// Rectilinear path length from the root to each node.
+  std::vector<std::int64_t> path_lengths() const;
+
+  /// Checks parent ordering, sink uniqueness, and root at index 0.
+  void validate(std::size_t num_sinks) const;
+
+  /// Removes degree-2 Steiner nodes (merging their edges) and unused
+  /// Steiner leaves; keeps indices parent-ordered.
+  void canonicalize();
+};
+
+/// Star topology: every sink connects directly to the root. The simplest
+/// valid topology, used as a fallback and in tests.
+PlaneTopology star_topology(const Point2& root,
+                            const std::vector<PlaneTerminal>& sinks);
+
+/// Renumbers nodes so parents precede children (required by PlaneTopology's
+/// sweep-based helpers after rewiring passes). Throws if disconnected.
+void reorder_parent_first(PlaneTopology& topo);
+
+}  // namespace cdst

@@ -1,0 +1,110 @@
+/// \file args.h
+/// Tiny command-line parser for the bench harnesses and examples.
+///
+/// Supports --name=value, --name value, and boolean --flag forms, with typed
+/// defaults and an auto-generated --help.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help) {
+    specs_[name] = Spec{help, default_value ? "true" : "false", true};
+  }
+
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+    specs_[name] = Spec{help, default_value, false};
+  }
+
+  /// Parses argv; on --help prints usage and exits. Throws ContractViolation
+  /// on unknown options.
+  void parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_help();
+        std::exit(0);
+      }
+      CDST_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+      arg = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      if (auto eq = arg.find('='); eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_value = true;
+      }
+      auto it = specs_.find(arg);
+      CDST_CHECK_MSG(it != specs_.end(), "unknown option --" + arg);
+      if (!has_value) {
+        if (it->second.is_flag) {
+          value = "true";
+        } else {
+          CDST_CHECK_MSG(i + 1 < argc, "missing value for --" + arg);
+          value = argv[++i];
+        }
+      }
+      values_[arg] = value;
+    }
+  }
+
+  std::string get_string(const std::string& name) const {
+    auto v = values_.find(name);
+    if (v != values_.end()) return v->second;
+    auto s = specs_.find(name);
+    CDST_CHECK_MSG(s != specs_.end(), "option not declared: --" + name);
+    return s->second.default_value;
+  }
+
+  std::int64_t get_int(const std::string& name) const {
+    return std::stoll(get_string(name));
+  }
+
+  double get_double(const std::string& name) const {
+    return std::stod(get_string(name));
+  }
+
+  bool get_bool(const std::string& name) const {
+    const std::string v = get_string(name);
+    return v == "true" || v == "1" || v == "yes" || v == "on";
+  }
+
+  void print_help() const {
+    std::cout << program_ << " — " << description_ << "\n\nOptions:\n";
+    for (const auto& [name, spec] : specs_) {
+      std::cout << "  --" << name << " (default: " << spec.default_value
+                << ")\n      " << spec.help << "\n";
+    }
+  }
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag{false};
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,57 @@
+/// \file disjoint_set.h
+/// Union-find with union by rank and path halving.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n = 0) { reset(n); }
+
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    rank_.assign(n, 0);
+    num_sets_ = n;
+  }
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t num_sets() const { return num_sets_; }
+
+  std::uint32_t find(std::uint32_t x) {
+    CDST_ASSERT(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  /// Merges the sets of a and b; returns false if already merged.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --num_sets_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t num_sets_{0};
+};
+
+}  // namespace cdst

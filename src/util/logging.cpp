@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+namespace cdst {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string t;
+  t.reserve(s.size());
+  std::transform(s.begin(), s.end(), std::back_inserter(t),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (t == "debug") return LogLevel::kDebug;
+  if (t == "info") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning") return LogLevel::kWarn;
+  if (t == "error") return LogLevel::kError;
+  if (t == "off" || t == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double secs =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::fprintf(stderr, "[%9.3f] %s %s\n", secs, level_tag(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace cdst

@@ -1,0 +1,50 @@
+/// \file logging.h
+/// Minimal leveled logger. Single global sink (stderr), thread-safe enough
+/// for our single-writer usage; levels filter at call sites cheaply.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cdst {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: CDST_LOG(kInfo) << "routed " << n << " nets";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace cdst
+
+#define CDST_LOG(level)                                  \
+  if (::cdst::LogLevel::level < ::cdst::log_level()) {   \
+  } else                                                 \
+    ::cdst::LogLine(::cdst::LogLevel::level)

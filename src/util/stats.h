@@ -1,0 +1,60 @@
+/// \file stats.h
+/// Streaming statistics accumulators used by the experiment harnesses.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+/// Welford-style streaming mean/variance plus min/max.
+class StatAccumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  CDST_CHECK(!xs.empty());
+  CDST_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace cdst

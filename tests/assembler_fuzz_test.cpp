@@ -1,0 +1,105 @@
+// Randomized stress test of the TreeAssembler: grows trees by repeatedly
+// connecting new terminals to random attachment vertices of the existing
+// structure via random simple paths, splitting segments along the way, and
+// validates the finalized tree after every growth schedule. This fuzzes the
+// exact machinery (segment splitting, location reindexing, normalization)
+// that Algorithm 1's merges rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/steiner_tree.h"
+#include "grid/routing_grid.h"
+#include "util/rng.h"
+
+namespace cdst {
+namespace {
+
+class AssemblerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AssemblerFuzz, RandomGrowthSchedulesStayValid) {
+  Rng rng(GetParam());
+  const RoutingGrid grid(10, 10, make_default_layer_stack(3), ViaSpec{});
+  const Graph& g = grid.graph();
+
+  TreeAssembler a(g);
+  std::set<EdgeId> used_edges;
+  std::vector<VertexId> tree_vertices;
+
+  const VertexId root = grid.vertex_at(5, 5, 0);
+  a.add_root(root);
+  tree_vertices.push_back(root);
+
+  // Grow: every terminal walks randomly until it touches the structure.
+  const std::size_t num_sinks = 4 + GetParam() % 12;
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    VertexId at = grid.vertex_at(
+        static_cast<std::int32_t>(rng.uniform(10)),
+        static_cast<std::int32_t>(rng.uniform(10)),
+        static_cast<std::int32_t>(rng.uniform(3)));
+    // Restart until the start vertex is off-structure (covers() may hold for
+    // sinks placed exactly on it; allow that case too occasionally).
+    const TreeAssembler::NodeId sink =
+        a.add_sink(at, static_cast<std::int32_t>(s));
+    if (a.covers(at) && rng.bernoulli(0.5)) {
+      // Terminal dropped onto the structure: zero-length attach.
+      const TreeAssembler::NodeId host = a.node_at(at);
+      if (host != sink && host != TreeAssembler::kNoNode) {
+        a.add_segment(sink, host, {});
+        continue;
+      }
+    }
+    // Random walk avoiding already-used edges and revisits until touching
+    // the structure.
+    std::vector<EdgeId> path;
+    std::set<VertexId> visited{at};
+    VertexId cur = at;
+    bool attached = false;
+    for (int step = 0; step < 400 && !attached; ++step) {
+      const auto arcs = g.arcs(cur);
+      // Random arc order.
+      const std::size_t off = rng.uniform(arcs.size());
+      bool moved = false;
+      for (std::size_t k = 0; k < arcs.size(); ++k) {
+        const Graph::Arc& arc = arcs[(k + off) % arcs.size()];
+        if (used_edges.count(arc.edge) != 0u ||
+            visited.count(arc.to) != 0u) {
+          continue;
+        }
+        path.push_back(arc.edge);
+        cur = arc.to;
+        visited.insert(cur);
+        moved = true;
+        break;
+      }
+      if (!moved) break;
+      if (a.covers(cur) || cur == root) {
+        attached = true;
+      }
+    }
+    if (!attached) {
+      // Walk got stuck (rare); connect trivially at the root via the
+      // assembler only if the sink randomly started on the structure —
+      // otherwise skip this schedule.
+      GTEST_SKIP() << "random walk failed to attach (seed artefact)";
+    }
+    const TreeAssembler::NodeId host = a.node_at(cur);
+    ASSERT_NE(host, TreeAssembler::kNoNode);
+    a.add_segment(sink, host, path);
+    for (const EdgeId e : path) used_edges.insert(e);
+  }
+
+  const SteinerTree tree = a.finalize();
+  tree.validate(g, num_sinks);
+  // Edge sets agree with what we fed in.
+  const auto edges = tree.all_edges();
+  EXPECT_EQ(edges.size(), used_edges.size());
+  for (const EdgeId e : edges) EXPECT_TRUE(used_edges.count(e) != 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace cdst

@@ -1,0 +1,177 @@
+// Tests for the optimal topology embedding DP and the exact enumeration
+// oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "embed/embedder.h"
+#include "embed/enumerate.h"
+#include "graph/dijkstra.h"
+#include "grid/routing_grid.h"
+#include "topology/rsmt.h"
+#include "util/rng.h"
+
+namespace cdst {
+namespace {
+
+struct GridInstance {
+  std::unique_ptr<RoutingGrid> grid;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  CostDistanceInstance inst;
+  std::vector<PlaneTerminal> plane_sinks;
+  Point2 root_xy;
+};
+
+GridInstance make_instance(std::uint64_t seed, int nx, int ny, int nz,
+                           std::size_t num_sinks, double dbif = 0.0) {
+  GridInstance gi;
+  gi.grid = std::make_unique<RoutingGrid>(
+      nx, ny, make_default_layer_stack(nz), ViaSpec{});
+  Rng rng(seed);
+  const Graph& g = gi.grid->graph();
+  gi.cost.resize(g.num_edges());
+  gi.delay = gi.grid->edge_delays();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    gi.cost[e] =
+        gi.grid->base_costs()[e] * std::exp(rng.uniform_double(0.0, 1.5));
+  }
+  gi.inst.graph = &g;
+  gi.inst.cost = &gi.cost;
+  gi.inst.delay = &gi.delay;
+  gi.inst.dbif = dbif;
+  gi.inst.eta = 0.25;
+  std::set<VertexId> used;
+  auto pick = [&]() {
+    while (true) {
+      const auto x = static_cast<std::int32_t>(rng.uniform(nx));
+      const auto y = static_cast<std::int32_t>(rng.uniform(ny));
+      const VertexId v = gi.grid->vertex_at(x, y, 0);
+      if (used.insert(v).second) return v;
+    }
+  };
+  gi.inst.root = pick();
+  gi.root_xy = gi.grid->position(gi.inst.root).xy();
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    const VertexId v = pick();
+    const double w = std::exp(rng.uniform_double(-1.5, 1.5));
+    gi.inst.sinks.push_back(Terminal{v, w});
+    gi.plane_sinks.push_back(
+        PlaneTerminal{gi.grid->position(v).xy(), w, 0.0});
+  }
+  return gi;
+}
+
+TEST(Enumerate, TopologyCountsMatchDoubleFactorial) {
+  EXPECT_EQ(enumerate_binary_topologies(1).size(), 1u);
+  EXPECT_EQ(enumerate_binary_topologies(2).size(), 1u);
+  EXPECT_EQ(enumerate_binary_topologies(3).size(), 3u);
+  EXPECT_EQ(enumerate_binary_topologies(4).size(), 15u);
+  EXPECT_EQ(enumerate_binary_topologies(5).size(), 105u);
+}
+
+TEST(Enumerate, TopologiesAreValidAndBinary) {
+  for (const PlaneTopology& t : enumerate_binary_topologies(4)) {
+    t.validate(4);
+    const auto ch = t.children();
+    EXPECT_EQ(ch[0].size(), 1u) << "root terminal must be a leaf";
+    for (std::size_t i = 1; i < t.nodes.size(); ++i) {
+      if (t.nodes[i].sink_index >= 0) {
+        EXPECT_TRUE(ch[i].empty()) << "sink terminals must be leaves";
+      } else {
+        EXPECT_EQ(ch[i].size(), 2u) << "internal nodes must bifurcate";
+      }
+    }
+  }
+}
+
+TEST(Embed, StarTopologyEqualsIndependentShortestPaths) {
+  const GridInstance gi = make_instance(21, 7, 7, 3, 4);
+  const PlaneTopology star = star_topology(gi.root_xy, gi.plane_sinks);
+  const EmbedResult r = embed_topology(star, gi.inst);
+  double expected = 0.0;
+  for (const Terminal& s : gi.inst.sinks) {
+    const auto sp = dijkstra(
+        *gi.inst.graph, {gi.inst.root},
+        [&](EdgeId e) { return gi.cost[e] + s.weight * gi.delay[e]; },
+        s.vertex);
+    expected += sp.dist[s.vertex];
+  }
+  EXPECT_NEAR(r.eval.objective, expected, 1e-6)
+      << "a star topology decomposes into independent weighted paths";
+}
+
+TEST(Embed, SingleSinkChainIsShortestPath) {
+  const GridInstance gi = make_instance(22, 6, 6, 3, 1);
+  const PlaneTopology star = star_topology(gi.root_xy, gi.plane_sinks);
+  const EmbedResult r = embed_topology(star, gi.inst);
+  const double w = gi.inst.sinks[0].weight;
+  const auto sp = dijkstra(
+      *gi.inst.graph, {gi.inst.root},
+      [&](EdgeId e) { return gi.cost[e] + w * gi.delay[e]; },
+      gi.inst.sinks[0].vertex);
+  EXPECT_NEAR(r.eval.objective, sp.dist[gi.inst.sinks[0].vertex], 1e-6);
+}
+
+class EmbedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmbedSeeds, ExactIsNeverWorseThanAnyEmbedding) {
+  for (const double dbif : {0.0, 3.0}) {
+    const GridInstance gi = make_instance(GetParam() * 17, 6, 6, 3, 3, dbif);
+    const ExactResult exact = solve_exact(gi.inst);
+    EXPECT_EQ(exact.num_topologies, 3u);  // (2*4 - 5)!! for 3 sinks + root
+
+    // Exact <= optimal embedding of any heuristic topology.
+    const PlaneTopology star = star_topology(gi.root_xy, gi.plane_sinks);
+    const PlaneTopology steiner = rsmt_topology(gi.root_xy, gi.plane_sinks);
+    EXPECT_LE(exact.eval.objective,
+              embed_topology(star, gi.inst).eval.objective + 1e-9);
+    EXPECT_LE(exact.eval.objective,
+              embed_topology(steiner, gi.inst).eval.objective + 1e-9);
+  }
+}
+
+TEST_P(EmbedSeeds, EmbeddingIsOptimalForItsTopology) {
+  // Verify the DP against brute force: for a 2-sink chain topology
+  // root - s0 - s1, enumerate the junction vertex placement by hand.
+  const GridInstance gi = make_instance(GetParam() * 29 + 3, 5, 5, 2, 2);
+  PlaneTopology chain;
+  chain.nodes.push_back(PlaneTopology::Node{gi.root_xy, -1, -1});
+  chain.nodes.push_back(
+      PlaneTopology::Node{gi.plane_sinks[0].pos, 0, 0});
+  chain.nodes.push_back(
+      PlaneTopology::Node{gi.plane_sinks[1].pos, 1, 1});
+  const EmbedResult r = embed_topology(chain, gi.inst);
+
+  // Brute force: s0 is pinned; cost = dist_{c + (w0+w1) d}(root, s0pin)
+  // + dist_{c + w1 d}(s0pin, s1pin).
+  const double w0 = gi.inst.sinks[0].weight;
+  const double w1 = gi.inst.sinks[1].weight;
+  const VertexId p0 = gi.inst.sinks[0].vertex;
+  const VertexId p1 = gi.inst.sinks[1].vertex;
+  const auto up = dijkstra(
+      *gi.inst.graph, {gi.inst.root},
+      [&](EdgeId e) { return gi.cost[e] + (w0 + w1) * gi.delay[e]; }, p0);
+  const auto down = dijkstra(
+      *gi.inst.graph, {p0},
+      [&](EdgeId e) { return gi.cost[e] + w1 * gi.delay[e]; }, p1);
+  EXPECT_NEAR(r.eval.objective, up.dist[p0] + down.dist[p1], 1e-6);
+}
+
+TEST_P(EmbedSeeds, EmbeddedTreesAreStructurallySound) {
+  const GridInstance gi = make_instance(GetParam() + 71, 8, 8, 3, 6, 2.0);
+  const PlaneTopology topo = rsmt_topology(gi.root_xy, gi.plane_sinks);
+  const EmbedResult r = embed_topology(topo, gi.inst);
+  r.tree.validate(*gi.inst.graph, gi.inst.sinks.size(),
+                  /*allow_shared_edges=*/true);
+  const TreeEvaluation re = evaluate_tree(r.tree, gi.inst);
+  EXPECT_NEAR(re.objective, r.eval.objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmbedSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace cdst

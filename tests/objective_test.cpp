@@ -1,0 +1,152 @@
+// Tests for the cost-distance objective evaluator: Eq. (1) accounting and
+// the optimal bifurcation penalty split of Eq. (2)/(3).
+
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "core/steiner_tree.h"
+
+namespace cdst {
+namespace {
+
+TEST(Lambda, OptimalSplitFollowsEq2) {
+  const double eta = 0.2;
+  EXPECT_DOUBLE_EQ(optimal_lambda(3.0, 1.0, eta), eta);
+  EXPECT_DOUBLE_EQ(optimal_lambda(1.0, 3.0, eta), 1.0 - eta);
+  EXPECT_DOUBLE_EQ(optimal_lambda(2.0, 2.0, eta), 0.5);
+}
+
+TEST(Lambda, BetaIsMinOverFeasibleSplits) {
+  const double dbif = 10.0, eta = 0.3;
+  const double w1 = 5.0, w2 = 2.0;
+  const double beta = bifurcation_beta(w1, w2, dbif, eta);
+  // Sweep lambda in [eta, 1-eta]: beta must be the minimum of
+  // dbif * (lambda * w1 + (1 - lambda) * w2).
+  double best = 1e18;
+  for (double l = eta; l <= 1.0 - eta + 1e-12; l += 0.001) {
+    best = std::min(best, dbif * (l * w1 + (1.0 - l) * w2));
+  }
+  EXPECT_NEAR(beta, best, 1e-6);
+  EXPECT_DOUBLE_EQ(beta, bifurcation_beta(w2, w1, dbif, eta)) << "symmetric";
+}
+
+class ObjectiveFixture : public ::testing::Test {
+ protected:
+  // Y-shaped graph: root 0 - 1, then 1 - 2 (sink 0) and 1 - 3 (sink 1).
+  ObjectiveFixture() {
+    GraphBuilder b(4);
+    b.add_edge(0, 1);  // e0
+    b.add_edge(1, 2);  // e1
+    b.add_edge(1, 3);  // e2
+    graph_ = Graph(b);
+    cost_ = {2.0, 3.0, 4.0};
+    delay_ = {10.0, 20.0, 30.0};
+
+    TreeAssembler a(graph_);
+    const auto root = a.add_root(0);
+    const auto s0 = a.add_sink(2, 0);
+    const auto s1 = a.add_sink(3, 1);
+    a.add_segment(s0, root, {1, 0});
+    const auto mid = a.node_at(1);
+    a.add_segment(s1, mid, {2});
+    tree_ = a.finalize();
+  }
+
+  CostDistanceInstance instance(double w0, double w1, double dbif,
+                                double eta) {
+    CostDistanceInstance inst;
+    inst.graph = &graph_;
+    inst.cost = &cost_;
+    inst.delay = &delay_;
+    inst.root = 0;
+    inst.sinks = {Terminal{2, w0}, Terminal{3, w1}};
+    inst.dbif = dbif;
+    inst.eta = eta;
+    return inst;
+  }
+
+  Graph graph_;
+  std::vector<double> cost_, delay_;
+  SteinerTree tree_;
+};
+
+TEST_F(ObjectiveFixture, NoPenaltyAccounting) {
+  const auto inst = instance(1.0, 2.0, 0.0, 0.5);
+  const TreeEvaluation e = evaluate_tree(tree_, inst);
+  EXPECT_DOUBLE_EQ(e.connection_cost, 2.0 + 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(e.sink_delays[0], 10.0 + 20.0);
+  EXPECT_DOUBLE_EQ(e.sink_delays[1], 10.0 + 30.0);
+  EXPECT_DOUBLE_EQ(e.weighted_delay, 1.0 * 30.0 + 2.0 * 40.0);
+  EXPECT_DOUBLE_EQ(e.objective, e.connection_cost + e.weighted_delay);
+  EXPECT_DOUBLE_EQ(e.total_delay_penalty, 0.0);
+}
+
+TEST_F(ObjectiveFixture, PenaltySplitFavorsHeavySubtree) {
+  const double dbif = 8.0, eta = 0.25;
+  // Sink 1 (via e2) is heavier: its branch gets lambda = eta, the light
+  // branch gets 1 - eta.
+  const auto inst = instance(1.0, 3.0, dbif, eta);
+  const TreeEvaluation e = evaluate_tree(tree_, inst);
+  EXPECT_DOUBLE_EQ(e.sink_delays[0], 30.0 + (1.0 - eta) * dbif);
+  EXPECT_DOUBLE_EQ(e.sink_delays[1], 40.0 + eta * dbif);
+  // Weighted penalty = beta(w0, w1) * dbif-normalized... i.e. exactly beta.
+  EXPECT_NEAR(e.total_delay_penalty, bifurcation_beta(1.0, 3.0, dbif, eta),
+              1e-12);
+}
+
+TEST_F(ObjectiveFixture, EqualWeightsSplitHalf) {
+  const double dbif = 8.0, eta = 0.25;
+  const auto inst = instance(2.0, 2.0, dbif, eta);
+  const TreeEvaluation e = evaluate_tree(tree_, inst);
+  EXPECT_DOUBLE_EQ(e.sink_delays[0], 30.0 + 0.5 * dbif);
+  EXPECT_DOUBLE_EQ(e.sink_delays[1], 40.0 + 0.5 * dbif);
+}
+
+TEST_F(ObjectiveFixture, NodeLambdasSumToOnePerBifurcation) {
+  const double dbif = 8.0, eta = 0.25;
+  const auto inst = instance(1.0, 3.0, dbif, eta);
+  const TreeEvaluation e = evaluate_tree(tree_, inst);
+  ASSERT_EQ(e.node_lambda.size(), tree_.nodes.size());
+  // Each bifurcation's two children share lambda = 1 in total.
+  for (std::size_t p = 0; p < tree_.nodes.size(); ++p) {
+    if (tree_.children[p].size() != 2) continue;
+    const double sum =
+        e.node_lambda[static_cast<std::size_t>(tree_.children[p][0])] +
+        e.node_lambda[static_cast<std::size_t>(tree_.children[p][1])];
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Shares stay inside the feasible interval [eta, 1 - eta].
+    for (const auto c : tree_.children[p]) {
+      EXPECT_GE(e.node_lambda[static_cast<std::size_t>(c)], eta - 1e-12);
+      EXPECT_LE(e.node_lambda[static_cast<std::size_t>(c)],
+                1.0 - eta + 1e-12);
+    }
+  }
+}
+
+TEST_F(ObjectiveFixture, PenaltyOnlyAtBifurcations) {
+  // A chain root -> sink (single child everywhere) must get no penalty.
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g(b);
+  std::vector<double> c{1.0, 1.0};
+  std::vector<double> d{5.0, 5.0};
+  TreeAssembler a(g);
+  const auto root = a.add_root(0);
+  const auto s = a.add_sink(2, 0);
+  a.add_segment(s, root, {1, 0});
+  const SteinerTree t = a.finalize();
+  CostDistanceInstance inst;
+  inst.graph = &g;
+  inst.cost = &c;
+  inst.delay = &d;
+  inst.root = 0;
+  inst.sinks = {Terminal{2, 1.0}};
+  inst.dbif = 100.0;
+  const TreeEvaluation e = evaluate_tree(t, inst);
+  EXPECT_DOUBLE_EQ(e.sink_delays[0], 10.0);
+  EXPECT_DOUBLE_EQ(e.total_delay_penalty, 0.0);
+}
+
+}  // namespace
+}  // namespace cdst

@@ -1,0 +1,263 @@
+// Tests for the timing-constrained global router substrate: netlist
+// generation, per-net oracles, metrics, and the Lagrangean routing loop.
+
+#include <gtest/gtest.h>
+
+#include "route/metrics.h"
+#include "route/netlist_gen.h"
+#include "route/router.h"
+#include "route/steiner_oracle.h"
+
+namespace cdst {
+namespace {
+
+ChipConfig tiny_chip() {
+  ChipConfig c;
+  c.name = "tiny";
+  c.num_nets = 60;
+  c.num_layers = 4;
+  c.nx = c.ny = 20;
+  c.capacity = 10.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(NetlistGen, PaperChipTableShape) {
+  const auto chips = paper_chip_configs(0.01);
+  ASSERT_EQ(chips.size(), 8u);
+  EXPECT_EQ(chips[0].name, "c1");
+  EXPECT_EQ(chips[7].name, "c8");
+  // Layer counts straight from Table III.
+  const int expected_layers[] = {8, 9, 7, 15, 9, 9, 15, 15};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(chips[i].num_layers, expected_layers[i]);
+  }
+  // Scaled net counts keep the ordering of Table III.
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_GE(chips[i].num_nets, chips[i - 1].num_nets * 99 / 100);
+  }
+}
+
+TEST(NetlistGen, DeterministicAndInBounds) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist a = generate_netlist(c, grid);
+  const Netlist b = generate_netlist(c, grid);
+  ASSERT_EQ(a.nets.size(), c.num_nets);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].source, b.nets[i].source);
+    ASSERT_EQ(a.nets[i].sinks.size(), b.nets[i].sinks.size());
+    EXPECT_GE(a.nets[i].sinks.size(), 1u);
+    for (std::size_t s = 0; s < a.nets[i].sinks.size(); ++s) {
+      const SinkPin& pin = a.nets[i].sinks[s];
+      EXPECT_EQ(pin.pos, b.nets[i].sinks[s].pos);
+      EXPECT_GE(pin.pos.x, 0);
+      EXPECT_LT(pin.pos.x, c.nx);
+      EXPECT_GE(pin.pos.y, 0);
+      EXPECT_LT(pin.pos.y, c.ny);
+      EXPECT_EQ(pin.pos.z, 0);
+      EXPECT_GT(pin.rat, 0.0);
+    }
+  }
+}
+
+TEST(NetlistGen, SizeDistributionHasMultiSinkTail) {
+  ChipConfig c = tiny_chip();
+  c.num_nets = 4000;
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  std::size_t small = 0, large = 0;
+  for (const Net& n : nl.nets) {
+    if (n.sinks.size() <= 2) ++small;
+    if (n.sinks.size() >= 15) ++large;
+  }
+  EXPECT_GT(small, nl.nets.size() / 2);
+  EXPECT_GT(large, nl.nets.size() / 200);
+  EXPECT_LT(large, nl.nets.size() / 5);
+}
+
+TEST(SteinerOracle, AllMethodsRouteAndCommitUsage) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  CongestionCosts costs(grid);
+
+  // Pick a multi-sink net.
+  const Net* net = nullptr;
+  for (const Net& n : nl.nets) {
+    if (n.sinks.size() >= 4) {
+      net = &n;
+      break;
+    }
+  }
+  ASSERT_NE(net, nullptr);
+  const std::vector<double> weights(net->sinks.size(), 0.01);
+
+  OracleParams params;
+  params.dbif = 2.0;
+  for (const SteinerMethod m : all_methods()) {
+    const OracleOutcome out = route_net(grid, costs, *net, weights, m, params);
+    EXPECT_FALSE(out.grid_edges.empty()) << method_name(m);
+    EXPECT_EQ(out.eval.sink_delays.size(), net->sinks.size());
+    for (const double d : out.eval.sink_delays) EXPECT_GE(d, 0.0);
+    // Usage commit + rip-up must round-trip to zero.
+    costs.add_usage(out.grid_edges, +1.0);
+    costs.add_usage(out.grid_edges, -1.0);
+  }
+  for (ResourceId r = 0; r < costs.num_resources(); ++r) {
+    EXPECT_DOUBLE_EQ(costs.usage(r), 0.0);
+  }
+}
+
+TEST(SteinerOracle, InstanceMapsPinsIntoWindow) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  CongestionCosts costs(grid);
+  const Net& net = nl.nets[0];
+  const std::vector<double> weights(net.sinks.size(), 1.0);
+  OracleParams params;
+  const OracleInstance oi(grid, costs, net, weights, params);
+  EXPECT_EQ(oi.instance().sinks.size(), net.sinks.size());
+  EXPECT_EQ(oi.window().to_grid_vertex(oi.instance().root),
+            grid.vertex_at(net.source));
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    EXPECT_EQ(oi.window().to_grid_vertex(oi.instance().sinks[s].vertex),
+              grid.vertex_at(net.sinks[s].pos));
+  }
+}
+
+TEST(Metrics, AceOfUniformCongestion) {
+  const RoutingGrid grid(8, 8, make_default_layer_stack(3), ViaSpec{});
+  CongestionCosts costs(grid);
+  // Push every wire resource to exactly half utilization.
+  for (EdgeId e = 0; e < grid.graph().num_edges(); ++e) {
+    const auto& info = grid.edge_info(e);
+    if (info.is_via || info.wire_type != 0) continue;
+    const double cap = grid.resource_capacity(info.resource);
+    std::vector<EdgeId> one{e};
+    const int steps = static_cast<int>(cap / (2.0 * info.width));
+    for (int i = 0; i < steps; ++i) costs.add_usage(one, +1.0);
+  }
+  const CongestionReport rep = compute_ace(costs);
+  // All wire utilizations are ~50% (rounded down by integral steps).
+  EXPECT_GT(rep.ace4, 35.0);
+  EXPECT_LE(rep.ace4, 51.0);
+  EXPECT_EQ(rep.overfull_edges, 0u);
+}
+
+TEST(Metrics, WireStatsSeparateViasFromWires) {
+  const RoutingGrid grid(5, 5, make_default_layer_stack(3), ViaSpec{});
+  std::vector<EdgeId> edges;
+  std::size_t exp_vias = 0, exp_wires = 0;
+  for (EdgeId e = 0; e < grid.graph().num_edges() && edges.size() < 30; ++e) {
+    edges.push_back(e);
+    if (grid.edge_info(e).is_via) {
+      ++exp_vias;
+    } else {
+      ++exp_wires;
+    }
+  }
+  const WireStats s = compute_wire_stats(grid, {edges});
+  EXPECT_EQ(s.num_vias, exp_vias);
+  EXPECT_DOUBLE_EQ(s.wirelength_gcells, static_cast<double>(exp_wires));
+}
+
+TEST(Router, RoutesTinyChipWithEveryMethod) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  for (const SteinerMethod m : all_methods()) {
+    RouterOptions opts;
+    opts.method = m;
+    opts.iterations = 2;
+    const RouterResult r = route_chip(grid, nl, opts);
+    EXPECT_EQ(r.nets_routed, nl.nets.size()) << method_name(m);
+    EXPECT_EQ(r.routes.size(), nl.nets.size());
+    EXPECT_GT(r.wires.wirelength_gcells, 0.0);
+    EXPECT_GT(r.wires.num_vias, 0u);
+    EXPECT_GT(r.congestion.ace4, 0.0);
+    EXPECT_EQ(r.sink_delays.size(), nl.num_sinks());
+    // Delays are zero only for sinks coincident with their source.
+    std::size_t positive = 0;
+    for (const double d : r.sink_delays) {
+      EXPECT_GE(d, 0.0);
+      if (d > 0.0) ++positive;
+    }
+    EXPECT_GT(positive, nl.num_sinks() / 2);
+  }
+}
+
+TEST(Router, DeterministicGivenSeed) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.iterations = 2;
+  opts.seed = 5;
+  const RouterResult a = route_chip(grid, nl, opts);
+  const RouterResult b = route_chip(grid, nl, opts);
+  EXPECT_DOUBLE_EQ(a.timing.worst_slack, b.timing.worst_slack);
+  EXPECT_DOUBLE_EQ(a.timing.total_negative_slack,
+                   b.timing.total_negative_slack);
+  EXPECT_DOUBLE_EQ(a.wires.wirelength_gcells, b.wires.wirelength_gcells);
+  EXPECT_EQ(a.wires.num_vias, b.wires.num_vias);
+}
+
+TEST(Router, RipUpAndRerouteImprovesTiming) {
+  // More Lagrangean rounds must not leave TNS dramatically worse; typically
+  // they improve it because weights steer critical nets to faster wires.
+  ChipConfig c = tiny_chip();
+  c.num_nets = 120;
+  c.rat_tightness = 1.1;  // hard timing
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions one;
+  one.method = SteinerMethod::kCD;
+  one.iterations = 1;
+  RouterOptions four = one;
+  four.iterations = 4;
+  const RouterResult r1 = route_chip(grid, nl, one);
+  const RouterResult r4 = route_chip(grid, nl, four);
+  // TNS is <= 0; "not worse" means closer to zero (small tolerance for the
+  // congestion/timing trade-off the multipliers negotiate).
+  EXPECT_GE(r4.timing.total_negative_slack,
+            r1.timing.total_negative_slack * 1.05)
+      << "Lagrangean rounds degraded timing (r1 TNS "
+      << r1.timing.total_negative_slack << ", r4 TNS "
+      << r4.timing.total_negative_slack << ")";
+}
+
+TEST(Router, ThreadedRoutingIsDeterministic) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.iterations = 2;
+  opts.threads = 4;
+  opts.batch_size = 16;
+  const RouterResult a = route_chip(grid, nl, opts);
+  const RouterResult b = route_chip(grid, nl, opts);
+  EXPECT_DOUBLE_EQ(a.timing.total_negative_slack,
+                   b.timing.total_negative_slack);
+  EXPECT_DOUBLE_EQ(a.wires.wirelength_gcells, b.wires.wirelength_gcells);
+  EXPECT_EQ(a.wires.num_vias, b.wires.num_vias);
+  // Batched parallel routing must also match single-threaded batched
+  // routing: results depend on the batch structure, not the thread count.
+  RouterOptions seq = opts;
+  seq.threads = 1;
+  // threads == 1 forces batch 1; emulate batching by using 2 threads worth
+  // of workers... instead compare 4 threads vs 2 threads (same batches).
+  RouterOptions two = opts;
+  two.threads = 2;
+  const RouterResult t2 = route_chip(grid, nl, two);
+  EXPECT_DOUBLE_EQ(a.timing.total_negative_slack,
+                   t2.timing.total_negative_slack);
+  EXPECT_EQ(a.wires.num_vias, t2.wires.num_vias);
+}
+
+}  // namespace
+}  // namespace cdst

@@ -1,0 +1,115 @@
+// Tests for the RC repeater-chain model, dbif derivation and slack math.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "grid/routing_grid.h"
+#include "timing/repeater_chain.h"
+#include "timing/slack.h"
+
+namespace cdst {
+namespace {
+
+TEST(RepeaterChain, OptimalSpacingMinimizesDelayPerUnit) {
+  const WireRc wire{30.0, 180.0};
+  const BufferSpec buf;
+  const RepeaterChain chain = optimal_repeater_chain(wire, buf);
+  EXPECT_GT(chain.spacing, 0.0);
+  EXPECT_GT(chain.delay_per_gcell, 0.0);
+
+  // One stage of length L: t(L) = t_b + R_b (c L + C_b) + r L (c L/2 + C_b).
+  auto per_unit = [&](double len) {
+    const double t = buf.intrinsic_delay +
+                     kPsPerOhmFf * (buf.out_resistance *
+                                        (wire.c_per_gcell * len +
+                                         buf.in_capacitance) +
+                                    wire.r_per_gcell * len *
+                                        (wire.c_per_gcell * len / 2.0 +
+                                         buf.in_capacitance));
+    return t / len;
+  };
+  const double at_opt = per_unit(chain.spacing);
+  EXPECT_NEAR(at_opt, chain.delay_per_gcell, 1e-9);
+  // Perturbed spacings must not beat the optimum.
+  EXPECT_GE(per_unit(chain.spacing * 0.7), at_opt);
+  EXPECT_GE(per_unit(chain.spacing * 1.3), at_opt);
+}
+
+TEST(RepeaterChain, WiderWiresAreFaster) {
+  const BufferSpec buf;
+  const WireRc narrow{40.0, 180.0};
+  const WireRc wide = narrow.scaled_by_width(2.0);
+  EXPECT_LT(optimal_repeater_chain(wide, buf).delay_per_gcell,
+            optimal_repeater_chain(narrow, buf).delay_per_gcell);
+}
+
+TEST(RepeaterChain, DbifPositiveAndMinimalOverLayers) {
+  std::vector<LayerSpec> layers = make_default_layer_stack(6);
+  const BufferSpec buf;
+  const double dbif = compute_dbif(layers, buf);
+  EXPECT_GT(dbif, 0.0);
+  // dbif must equal the minimum mid-segment cap delay over buffable layers
+  // and wire types.
+  double expect = std::numeric_limits<double>::infinity();
+  for (std::size_t z = 1; z < layers.size(); ++z) {
+    const WireRc base{layers[z].r_per_gcell, layers[z].c_per_gcell};
+    for (const WireType& wt : layers[z].wire_types) {
+      expect = std::min(
+          expect, mid_segment_cap_delay(base.scaled_by_width(wt.width), buf));
+    }
+  }
+  EXPECT_DOUBLE_EQ(dbif, expect);
+}
+
+TEST(RepeaterChain, ApplyDelayModelMakesUpperLayersFaster) {
+  std::vector<LayerSpec> layers = make_default_layer_stack(8);
+  const double fastest = apply_linear_delay_model(layers, BufferSpec{});
+  EXPECT_GT(fastest, 0.0);
+  // Top layer must be at least as fast as the bottom layer.
+  EXPECT_LE(layers.back().wire_types[0].delay_per_gcell,
+            layers.front().wire_types[0].delay_per_gcell);
+  double min_seen = std::numeric_limits<double>::infinity();
+  for (const LayerSpec& l : layers) {
+    for (const WireType& wt : l.wire_types) {
+      min_seen = std::min(min_seen, wt.delay_per_gcell);
+    }
+  }
+  EXPECT_DOUBLE_EQ(min_seen, fastest);
+}
+
+TEST(Slack, ComputeAndSummarize) {
+  const std::vector<double> arrivals{10.0, 20.0, 30.0};
+  const std::vector<double> rats{15.0, 15.0, 25.0};
+  const auto slacks = compute_slacks(arrivals, rats);
+  EXPECT_DOUBLE_EQ(slacks[0], 5.0);
+  EXPECT_DOUBLE_EQ(slacks[1], -5.0);
+  EXPECT_DOUBLE_EQ(slacks[2], -5.0);
+  const TimingSummary s = summarize_slacks(slacks);
+  EXPECT_DOUBLE_EQ(s.worst_slack, -5.0);
+  EXPECT_DOUBLE_EQ(s.total_negative_slack, -10.0);
+  EXPECT_EQ(s.num_violations, 2u);
+}
+
+TEST(Slack, WeightUpdateDirection) {
+  std::vector<double> weights{1.0, 1.0, 1.0};
+  const std::vector<double> slacks{-50.0, 0.0, 200.0};
+  update_delay_weights(slacks, 25.0, 1e-4, 64.0, weights);
+  EXPECT_GT(weights[0], 1.0) << "violating sinks must gain weight";
+  EXPECT_LE(weights[1], 1.0);
+  EXPECT_LT(weights[2], weights[1]) << "relaxed sinks decay";
+  // Clamping.
+  std::vector<double> w2{64.0};
+  update_delay_weights({-1000.0}, 25.0, 1e-4, 64.0, w2);
+  EXPECT_DOUBLE_EQ(w2[0], 64.0);
+}
+
+TEST(Slack, EmptyInputs) {
+  const TimingSummary s = summarize_slacks({});
+  EXPECT_DOUBLE_EQ(s.worst_slack, 0.0);
+  EXPECT_EQ(s.num_violations, 0u);
+}
+
+}  // namespace
+}  // namespace cdst

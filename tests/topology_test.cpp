@@ -1,0 +1,240 @@
+// Tests for the plane topology baselines: RMST/RSMT (L1), shallow-light and
+// Prim-Dijkstra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "geom/rect.h"
+#include "topology/prim_dijkstra.h"
+#include "topology/rmst.h"
+#include "topology/rsmt.h"
+#include "topology/shallow_light.h"
+#include "topology/topology.h"
+#include "util/disjoint_set.h"
+#include "util/rng.h"
+
+namespace cdst {
+namespace {
+
+std::vector<PlaneTerminal> random_sinks(Rng& rng, std::size_t k, int extent) {
+  std::vector<PlaneTerminal> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    PlaneTerminal t;
+    t.pos = Point2{static_cast<std::int32_t>(rng.uniform(extent)),
+                   static_cast<std::int32_t>(rng.uniform(extent))};
+    t.weight = std::exp(rng.uniform_double(-1.5, 1.5));
+    out.push_back(t);
+  }
+  return out;
+}
+
+/// Kruskal MST length on the complete terminal graph (reference).
+std::int64_t brute_mst_length(const Point2& root,
+                              const std::vector<PlaneTerminal>& sinks) {
+  std::vector<Point2> pts{root};
+  for (const auto& s : sinks) pts.push_back(s.pos);
+  struct E {
+    std::int64_t len;
+    std::size_t a, b;
+  };
+  std::vector<E> edges;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      edges.push_back(E{l1_distance(pts[i], pts[j]), i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const E& x, const E& y) { return x.len < y.len; });
+  DisjointSet dsu(pts.size());
+  std::int64_t total = 0;
+  for (const E& e : edges) {
+    if (dsu.unite(static_cast<std::uint32_t>(e.a),
+                  static_cast<std::uint32_t>(e.b))) {
+      total += e.len;
+    }
+  }
+  return total;
+}
+
+class TopologySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologySeeds, RmstMatchesBruteForceMstLength) {
+  Rng rng(GetParam());
+  const Point2 root{50, 50};
+  const auto sinks = random_sinks(rng, 3 + GetParam() % 12, 100);
+  const PlaneTopology t = rectilinear_mst(root, sinks);
+  t.validate(sinks.size());
+  EXPECT_EQ(t.total_length(), brute_mst_length(root, sinks));
+}
+
+TEST_P(TopologySeeds, RsmtNeverLongerThanRmst) {
+  Rng rng(GetParam() * 3 + 1);
+  const Point2 root{0, 0};
+  const auto sinks = random_sinks(rng, 4 + GetParam() % 20, 80);
+  const PlaneTopology mst = rectilinear_mst(root, sinks);
+  const PlaneTopology steiner = rsmt_topology(root, sinks);
+  steiner.validate(sinks.size());
+  EXPECT_LE(steiner.total_length(), mst.total_length());
+  // And never below the half-perimeter lower bound of the terminal bbox.
+  Rect box;
+  box.expand(root);
+  for (const auto& s : sinks) box.expand(s.pos);
+  EXPECT_GE(steiner.total_length(), box.half_perimeter());
+}
+
+TEST(Rsmt, MedianPointSavesLength) {
+  // Classic 3-point instance: MST is 2 edges of length 20; the median
+  // Steiner point reduces total length to 20 + 10 = 30 -> 20+... concretely:
+  // points (0,0) root, (10,10), (20,0): MST = 20+20 = 40? No: d((0,0),(10,10))
+  // = 20, d((10,10),(20,0)) = 20, d((0,0),(20,0)) = 20: MST = 40.
+  // Steiner point (10,0): total = 10 + 10 + 20 = 30.
+  const Point2 root{0, 0};
+  std::vector<PlaneTerminal> sinks{{Point2{10, 10}, 1.0, 0.0},
+                                   {Point2{20, 0}, 1.0, 0.0}};
+  const PlaneTopology t = rsmt_topology(root, sinks);
+  EXPECT_EQ(t.total_length(), 30);
+}
+
+TEST(Rsmt, L1MedianIsComponentwise) {
+  EXPECT_EQ(l1_median(Point2{0, 0}, Point2{10, 10}, Point2{20, 0}),
+            (Point2{10, 0}));
+  EXPECT_EQ(l1_median(Point2{5, 7}, Point2{5, 7}, Point2{1, 1}),
+            (Point2{5, 7}));
+}
+
+TEST_P(TopologySeeds, ShallowLightMeetsBounds) {
+  Rng rng(GetParam() + 400);
+  const Point2 root{50, 50};
+  auto sinks = random_sinks(rng, 5 + GetParam() % 15, 100);
+  ShallowLightParams p;
+  p.epsilon = 0.3;
+  p.delay_per_unit = 1.0;
+  p.dbif = 0.0;
+  const PlaneTopology t = shallow_light_topology(root, sinks, p);
+  t.validate(sinks.size());
+  // Every sink's tree delay within (1 + eps) of its direct-line delay.
+  const auto delays = plane_delays(t, sinks, p.delay_per_unit, 0.0, p.eta);
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    const auto si = t.nodes[i].sink_index;
+    if (si < 0) continue;
+    const double direct = p.delay_per_unit *
+                          static_cast<double>(l1_distance(
+                              root, sinks[static_cast<std::size_t>(si)].pos));
+    EXPECT_LE(delays[i], (1.0 + p.epsilon) * direct + 1e-9)
+        << "sink " << si << " violates the shallow-light bound";
+  }
+}
+
+TEST(ShallowLight, ExplicitBudgetsBindPerSink) {
+  // One distant sink with a hopeless generic tree path but a generous
+  // budget, one nearby sink with a tight explicit budget: only the tight
+  // sink must be rerouted toward the root.
+  const Point2 root{0, 0};
+  std::vector<PlaneTerminal> sinks;
+  // A chain pulling the tree far away...
+  for (int i = 1; i <= 6; ++i) {
+    sinks.push_back(PlaneTerminal{Point2{10 * i, 10 * i}, 1.0, 1e9});
+  }
+  // ...and a near sink at the end of the chain detour with a tight budget.
+  sinks.push_back(PlaneTerminal{Point2{0, 20}, 1.0, 25.0});
+  ShallowLightParams p;
+  p.epsilon = 0.1;
+  p.delay_per_unit = 1.0;
+  const PlaneTopology t = shallow_light_topology(root, sinks, p);
+  const auto delays = plane_delays(t, sinks, p.delay_per_unit, 0.0, p.eta);
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    if (t.nodes[i].sink_index == 6) {
+      EXPECT_LE(delays[i], (1.0 + p.epsilon) * 25.0 + 1e-9)
+          << "explicitly budgeted sink must meet its bound";
+    }
+  }
+}
+
+TEST_P(TopologySeeds, ShallowLightNotMuchLongerThanRsmt) {
+  Rng rng(GetParam() + 900);
+  const Point2 root{10, 90};
+  auto sinks = random_sinks(rng, 10, 100);
+  ShallowLightParams p;
+  p.epsilon = 1e9;  // bound never binds -> must stay the light tree
+  const PlaneTopology sl = shallow_light_topology(root, sinks, p);
+  const PlaneTopology light = rsmt_topology(root, sinks);
+  EXPECT_LE(sl.total_length(), light.total_length() + 1)
+      << "with an inactive bound SL must keep the light topology";
+}
+
+TEST_P(TopologySeeds, PrimDijkstraGammaOneGivesShortestPaths) {
+  Rng rng(GetParam() + 32);
+  const Point2 root{0, 0};
+  auto sinks = random_sinks(rng, 8, 60);
+  PrimDijkstraParams p;
+  p.gamma = 1.0;
+  p.dbif = 0.0;
+  const PlaneTopology t = prim_dijkstra_topology(root, sinks, p);
+  t.validate(sinks.size());
+  const auto pl = t.path_lengths();
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    const auto si = t.nodes[i].sink_index;
+    if (si < 0) continue;
+    EXPECT_EQ(pl[i],
+              l1_distance(root, sinks[static_cast<std::size_t>(si)].pos))
+        << "gamma = 1 must realize every sink's L1 shortest path";
+  }
+}
+
+TEST_P(TopologySeeds, PrimDijkstraTradeoffMonotone) {
+  Rng rng(GetParam() + 64);
+  const Point2 root{30, 30};
+  auto sinks = random_sinks(rng, 12, 60);
+  PrimDijkstraParams p;
+  p.dbif = 0.0;
+  p.gamma = 0.05;
+  const PlaneTopology prim_like = prim_dijkstra_topology(root, sinks, p);
+  p.gamma = 1.0;
+  const PlaneTopology dijk_like = prim_dijkstra_topology(root, sinks, p);
+  // Prim end: shorter total; Dijkstra end: shorter paths.
+  EXPECT_LE(prim_like.total_length(), dijk_like.total_length());
+  const auto pl_prim = prim_like.path_lengths();
+  const auto pl_dijk = dijk_like.path_lengths();
+  std::int64_t sum_prim = 0, sum_dijk = 0;
+  for (std::size_t i = 0; i < prim_like.nodes.size(); ++i) {
+    if (prim_like.nodes[i].sink_index >= 0) sum_prim += pl_prim[i];
+  }
+  for (std::size_t i = 0; i < dijk_like.nodes.size(); ++i) {
+    if (dijk_like.nodes[i].sink_index >= 0) sum_dijk += pl_dijk[i];
+  }
+  EXPECT_LE(sum_dijk, sum_prim);
+}
+
+TEST(Topology, StarAndCanonicalize) {
+  const Point2 root{0, 0};
+  std::vector<PlaneTerminal> sinks{{Point2{1, 0}, 1.0, 0.0},
+                                   {Point2{0, 1}, 1.0, 0.0}};
+  PlaneTopology t = star_topology(root, sinks);
+  t.validate(sinks.size());
+  EXPECT_EQ(t.total_length(), 2);
+
+  // Insert a useless degree-2 Steiner node and verify canonicalize removes
+  // it.
+  PlaneTopology u = t;
+  u.nodes.push_back(PlaneTopology::Node{Point2{2, 2}, 0, -1});  // leaf steiner
+  u.canonicalize();
+  EXPECT_EQ(u.nodes.size(), t.nodes.size());
+}
+
+TEST(Topology, PathLengthsAccumulate) {
+  PlaneTopology t;
+  t.nodes.push_back(PlaneTopology::Node{Point2{0, 0}, -1, -1});
+  t.nodes.push_back(PlaneTopology::Node{Point2{3, 0}, 0, -1});
+  t.nodes.push_back(PlaneTopology::Node{Point2{3, 4}, 1, 0});
+  const auto pl = t.path_lengths();
+  EXPECT_EQ(pl[2], 7);
+  EXPECT_EQ(t.total_length(), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologySeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cdst

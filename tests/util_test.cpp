@@ -1,0 +1,317 @@
+// Tests for the utility substrate: heaps, DSU, RNG, sparse map, stats, args.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "util/args.h"
+#include "util/binary_heap.h"
+#include "util/disjoint_set.h"
+#include "util/fibonacci_heap.h"
+#include "util/rng.h"
+#include "util/sparse_map.h"
+#include "util/stats.h"
+#include "util/two_level_heap.h"
+
+namespace cdst {
+namespace {
+
+TEST(BinaryHeap, BasicOrdering) {
+  BinaryHeap<double> h;
+  h.push(3, 3.0);
+  h.push(1, 1.0);
+  h.push(2, 2.0);
+  EXPECT_EQ(h.min_id(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_key(), 1.0);
+  EXPECT_EQ(h.pop_min(), 1u);
+  EXPECT_EQ(h.pop_min(), 2u);
+  EXPECT_EQ(h.pop_min(), 3u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(BinaryHeap, DecreaseKeyMovesItemUp) {
+  BinaryHeap<double> h;
+  for (std::uint32_t i = 0; i < 10; ++i) h.push(i, 100.0 + i);
+  h.decrease_key(7, 1.0);
+  EXPECT_EQ(h.min_id(), 7u);
+  EXPECT_TRUE(h.contains(7));
+  EXPECT_DOUBLE_EQ(h.key_of(7), 1.0);
+}
+
+TEST(BinaryHeap, PushOrDecreaseIgnoresLargerKey) {
+  BinaryHeap<double> h;
+  h.push(0, 5.0);
+  EXPECT_FALSE(h.push_or_decrease(0, 9.0));
+  EXPECT_DOUBLE_EQ(h.key_of(0), 5.0);
+  EXPECT_TRUE(h.push_or_decrease(0, 2.0));
+  EXPECT_DOUBLE_EQ(h.key_of(0), 2.0);
+}
+
+TEST(BinaryHeap, EraseArbitrary) {
+  BinaryHeap<int> h;
+  for (std::uint32_t i = 0; i < 20; ++i) h.push(i, static_cast<int>(i));
+  h.erase(0);
+  h.erase(10);
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_FALSE(h.contains(10));
+  int prev = -1;
+  while (!h.empty()) {
+    const int k = h.min_key();
+    EXPECT_GT(k, prev);
+    prev = k;
+    h.pop_min();
+  }
+}
+
+class HeapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapPropertyTest, BinaryHeapMatchesStdPriorityQueue) {
+  Rng rng(GetParam());
+  BinaryHeap<double> heap;
+  std::map<std::uint32_t, double> reference;  // id -> key
+  for (int step = 0; step < 3000; ++step) {
+    const double action = rng.uniform_double();
+    if (action < 0.55 || reference.empty()) {
+      const auto id = static_cast<std::uint32_t>(rng.uniform(500));
+      const double key = rng.uniform_double(0.0, 1000.0);
+      if (reference.count(id) != 0u) {
+        if (key < reference[id]) {
+          heap.decrease_key(id, key);
+          reference[id] = key;
+        }
+      } else {
+        heap.push(id, key);
+        reference[id] = key;
+      }
+    } else {
+      const std::uint32_t id = heap.pop_min();
+      auto min_it = reference.begin();
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->second < min_it->second) min_it = it;
+      }
+      EXPECT_DOUBLE_EQ(min_it->second, reference[id]);
+      reference.erase(id);
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+  }
+}
+
+TEST_P(HeapPropertyTest, FibonacciHeapMatchesBinaryHeap) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  BinaryHeap<double> bin;
+  FibonacciHeap<double> fib;
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.uniform_double();
+    if (action < 0.5 || bin.empty()) {
+      const auto id = static_cast<std::uint32_t>(rng.uniform(400));
+      // Unique keys per id so min ids never tie and the heaps stay in
+      // lockstep.
+      const double key =
+          rng.uniform_double(0.0, 1000.0) + static_cast<double>(id) * 1e-7;
+      EXPECT_EQ(bin.push_or_decrease(id, key), fib.push_or_decrease(id, key));
+    } else {
+      ASSERT_DOUBLE_EQ(bin.min_key(), fib.min_key());
+      const std::uint32_t bid = bin.pop_min();
+      const std::uint32_t fid = fib.pop_min();
+      ASSERT_EQ(bid, fid);
+    }
+    ASSERT_EQ(bin.size(), fib.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(TwoLevelHeap, GlobalMinAcrossGroups) {
+  TwoLevelHeap<double> h;
+  h.push_or_decrease(0, 5, 50.0);
+  h.push_or_decrease(1, 7, 10.0);
+  h.push_or_decrease(2, 9, 30.0);
+  auto m = h.pop_global_min();
+  EXPECT_EQ(m.group, 1u);
+  EXPECT_EQ(m.entry, 7u);
+  EXPECT_DOUBLE_EQ(m.key, 10.0);
+  m = h.pop_global_min();
+  EXPECT_EQ(m.group, 2u);
+  m = h.pop_global_min();
+  EXPECT_EQ(m.group, 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(TwoLevelHeap, EraseGroupRemovesAllEntries) {
+  TwoLevelHeap<double> h;
+  for (std::uint32_t e = 0; e < 10; ++e) h.push_or_decrease(3, e, e * 1.0);
+  h.push_or_decrease(1, 0, 100.0);
+  h.erase_group(3);
+  EXPECT_FALSE(h.empty());
+  const auto m = h.pop_global_min();
+  EXPECT_EQ(m.group, 1u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST_P(HeapPropertyTest, TwoLevelMatchesFlatHeap) {
+  Rng rng(GetParam() * 31337);
+  TwoLevelHeap<double> two;
+  // Reference: map from (group, entry) -> key.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> reference;
+  for (int step = 0; step < 3000; ++step) {
+    if (rng.uniform_double() < 0.6 || reference.empty()) {
+      const auto g = static_cast<std::uint32_t>(rng.uniform(8));
+      const auto e = static_cast<std::uint32_t>(rng.uniform(100));
+      const double key = rng.uniform_double(0.0, 100.0);
+      two.push_or_decrease(g, e, key);
+      auto it = reference.find({g, e});
+      if (it == reference.end()) {
+        reference[{g, e}] = key;
+      } else {
+        it->second = std::min(it->second, key);
+      }
+    } else {
+      const auto m = two.pop_global_min();
+      double best = 1e18;
+      for (const auto& [k, v] : reference) best = std::min(best, v);
+      EXPECT_DOUBLE_EQ(m.key, best);
+      reference.erase({m.group, m.entry});
+    }
+  }
+}
+
+TEST(DisjointSet, UniteAndFind) {
+  DisjointSet d(10);
+  EXPECT_EQ(d.num_sets(), 10u);
+  EXPECT_TRUE(d.unite(1, 2));
+  EXPECT_TRUE(d.unite(2, 3));
+  EXPECT_FALSE(d.unite(1, 3));
+  EXPECT_TRUE(d.same(1, 3));
+  EXPECT_FALSE(d.same(0, 1));
+  EXPECT_EQ(d.num_sets(), 8u);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_same = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_same = all_same && (va == vb);
+    any_diff_c = any_diff_c || (va != vc);
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(1234);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.uniform(10)];
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(SparseMap, InsertFindClear) {
+  SparseMap<int> m;
+  EXPECT_TRUE(m.empty());
+  m[5] = 50;
+  m[123456] = 7;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50);
+  EXPECT_EQ(m.find(6), nullptr);
+  m.clear();
+  EXPECT_EQ(m.find(5), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST_P(HeapPropertyTest, SparseMapMatchesUnorderedMap) {
+  Rng rng(GetParam() + 555);
+  SparseMap<std::uint64_t> sm;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const auto key = static_cast<std::uint32_t>(rng.uniform(5000));
+    if (rng.uniform_double() < 0.7) {
+      const std::uint64_t val = rng();
+      sm[key] = val;
+      ref[key] = val;
+    } else {
+      const auto* p = sm.find(key);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(p, nullptr);
+      } else {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(*p, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(sm.size(), ref.size());
+  std::size_t visited = 0;
+  sm.for_each([&](std::uint32_t k, std::uint64_t& v) {
+    EXPECT_EQ(ref.at(k), v);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(Stats, AccumulatorMoments) {
+  StatAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Args, ParsesOptionsAndFlags) {
+  ArgParser p("prog", "test");
+  p.add_option("count", "10", "a count");
+  p.add_flag("fast", false, "go fast");
+  p.add_option("name", "x", "a name");
+  const char* argv[] = {"prog", "--count=42", "--fast", "--name", "hello"};
+  p.parse(5, argv);
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_TRUE(p.get_bool("fast"));
+  EXPECT_EQ(p.get_string("name"), "hello");
+}
+
+TEST(Args, UnknownOptionThrows) {
+  ArgParser p("prog", "test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(p.parse(2, argv), ContractViolation);
+}
+
+TEST(Args, DefaultsUsedWhenAbsent) {
+  ArgParser p("prog", "test");
+  p.add_option("scale", "0.5", "scale");
+  const char* argv[] = {"prog"};
+  p.parse(1, argv);
+  EXPECT_DOUBLE_EQ(p.get_double("scale"), 0.5);
+}
+
+}  // namespace
+}  // namespace cdst
