@@ -72,38 +72,73 @@ BENCHMARK(BM_TwoLevelHeapChurn)
     ->Args({1 << 14, 64})
     ->Args({1 << 14, 512});
 
+/// A side x side grid graph with random edge lengths (m = O(n), the shape of
+/// all routing searches).
+struct GridFixture {
+  Graph g;
+  std::vector<double> len;
+
+  explicit GridFixture(int side) {
+    GraphBuilder b(static_cast<std::size_t>(side) * side);
+    auto id = [side](int x, int y) {
+      return static_cast<VertexId>(y * side + x);
+    };
+    Rng grid_rng(3);
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        if (x + 1 < side) {
+          b.add_edge(id(x, y), id(x + 1, y));
+          len.push_back(grid_rng.uniform_double(0.5, 4.0));
+        }
+        if (y + 1 < side) {
+          b.add_edge(id(x, y), id(x, y + 1));
+          len.push_back(grid_rng.uniform_double(0.5, 4.0));
+        }
+      }
+    }
+    g = Graph(b);
+  }
+};
+
 void BM_DijkstraGridHeapKind(benchmark::State& state) {
   // Full Dijkstra over a routing-grid-shaped graph (m = O(n)): the paper's
   // III-B argument in one number — binary beats Fibonacci here.
-  const int side = 48;
-  GraphBuilder b(static_cast<std::size_t>(side) * side);
-  auto id = [side](int x, int y) {
-    return static_cast<VertexId>(y * side + x);
-  };
-  std::vector<double> len;
-  Rng grid_rng(3);
-  for (int y = 0; y < side; ++y) {
-    for (int x = 0; x < side; ++x) {
-      if (x + 1 < side) {
-        b.add_edge(id(x, y), id(x + 1, y));
-        len.push_back(grid_rng.uniform_double(0.5, 4.0));
-      }
-      if (y + 1 < side) {
-        b.add_edge(id(x, y), id(x, y + 1));
-        len.push_back(grid_rng.uniform_double(0.5, 4.0));
-      }
-    }
-  }
-  const Graph g(b);
+  const GridFixture f(48);
   const auto kind = state.range(0) == 0 ? DijkstraHeap::kBinary
                                         : DijkstraHeap::kFibonacci;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dijkstra(
-        g, {0}, [&](EdgeId e) { return len[e]; }, kInvalidVertex, kind));
+    benchmark::DoNotOptimize(
+        dijkstra(f.g, {0}, ArrayLength{f.len}, kInvalidVertex, kind));
   }
   state.SetLabel(state.range(0) == 0 ? "binary" : "fibonacci");
 }
 BENCHMARK(BM_DijkstraGridHeapKind)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraLengthIndirection(benchmark::State& state) {
+  // The templated search kernel's raison d'être: the same full-grid Dijkstra
+  // with the edge length supplied as a concrete functor (inlined into the
+  // relax loop) vs type-erased through std::function (one indirect call per
+  // scanned edge, the pre-refactor behavior).
+  const GridFixture f(48);
+  if (state.range(0) == 0) {
+    const ArrayLength length{f.len};
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(dijkstra(f.g, {0}, length));
+    }
+    state.SetLabel("concrete-functor");
+  } else {
+    const std::vector<double>& len = f.len;
+    const EdgeLengthFn length = [&len](EdgeId e) { return len[e]; };
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(dijkstra(f.g, {0}, length));
+    }
+    state.SetLabel("std::function");
+  }
+}
+BENCHMARK(BM_DijkstraLengthIndirection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 
 #include "geom/nearest.h"
 #include "geom/rect.h"
+#include "graph/dijkstra.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/sparse_map.h"
@@ -304,11 +305,15 @@ class Solver {
     }
 
     const double w = comps_[u].weight;
+    const CostDelayLength metric{c_, d_, w};  // l_u(e) = c(e) + w d(e)
     const VertexId vtx = lab.vertex;
     const double base_g = lab.g;
     for (const Graph::Arc& a : g_.arcs(vtx)) {
-      const double cost = edge_discounted(a.edge, u) ? 0.0 : c_[a.edge];
-      const double ng = base_g + cost + w * d_[a.edge];
+      // Edges already owned by u are traversed at zero *cost* under the
+      // Section III-A discount; the delay part always applies.
+      const double ng = base_g + (edge_discounted(a.edge, u)
+                                      ? w * d_[a.edge]
+                                      : metric(a.edge));
       std::uint32_t& slot = searches_[u].index[a.to];
       if (slot == 0) {
         searches_[u].labels.push_back(

@@ -68,9 +68,7 @@ EmbedResult embed_topology(const PlaneTopology& topo,
       break;
     }
     // Propagate upward under the weighted metric c + W_i * d.
-    const double w = subw[i];
-    up[i] = dijkstra_from_potentials(
-        g, fi, [&](EdgeId e) { return c[e] + w * d[e]; });
+    up[i] = dijkstra_from_potentials(g, fi, CostDelayLength{c, d, subw[i]});
   }
   CDST_CHECK_MSG(root_value < kInf,
                  "topology cannot be embedded: graph disconnected");

@@ -1,16 +1,31 @@
 /// \file dijkstra.h
-/// Standard single/multi-source Dijkstra over a Graph with caller-provided
-/// edge lengths. Used for landmark preprocessing, the topology-embedding DP,
-/// and as a reference implementation in tests (the cost-distance solver has
-/// its own specialized multi-metric search).
+/// Header-only single/multi-source Dijkstra over a Graph, templated over the
+/// priority-queue type and the edge-length functor. Used for landmark
+/// preprocessing, the topology-embedding DP, and as a reference
+/// implementation in tests (the cost-distance solver has its own specialized
+/// multi-metric search).
+///
+/// The search kernel is a function template so that callers can pass concrete
+/// functor types (ArrayLength, CostDelayLength, a lambda, ...) and the length
+/// evaluation inlines into the relax loop. `EdgeLengthFn` (a std::function)
+/// remains available as a type-erased compatibility spelling — every entry
+/// point accepts it like any other functor — but hot paths should prefer a
+/// concrete functor: the virtual-call-like indirection of std::function in
+/// the inner loop is measurable (see bench_heaps's DijkstraLengthIndirection
+/// row).
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/binary_heap.h"
+#include "util/fibonacci_heap.h"
 
 namespace cdst {
 
@@ -24,36 +39,131 @@ struct DijkstraResult {
   bool reached(VertexId v) const { return dist[v] < kInf; }
 
   /// Path from a source to v as a list of edge ids (source-to-v order).
-  std::vector<EdgeId> path_edges(VertexId v) const;
+  std::vector<EdgeId> path_edges(VertexId v) const {
+    std::vector<EdgeId> out;
+    while (parent_edge[v] != kInvalidEdge) {
+      out.push_back(parent_edge[v]);
+      v = parent[v];
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
 };
 
-/// Edge length callback: double(EdgeId).
+/// Type-erased edge length callback: double(EdgeId). Compatibility spelling;
+/// prefer a concrete functor type on hot paths.
 using EdgeLengthFn = std::function<double(EdgeId)>;
+
+/// Edge lengths read from a dense per-edge array (the common case: windows,
+/// grids and landmark preprocessing all keep parallel per-edge vectors).
+struct ArrayLength {
+  std::span<const double> len;
+  double operator()(EdgeId e) const { return len[e]; }
+};
+
+/// All edges the same length (unit metrics in tests and hop counts).
+struct UniformLength {
+  double value{1.0};
+  double operator()(EdgeId) const { return value; }
+};
+
+/// The weighted routing metric c(e) + w * d(e) used by the embedding DP and
+/// the cost-distance searches (paper Section II).
+struct CostDelayLength {
+  std::span<const double> cost;
+  std::span<const double> delay;
+  double weight{0.0};
+  double operator()(EdgeId e) const { return cost[e] + weight * delay[e]; }
+};
 
 /// Priority queue backing the search. Theorem 1's O(t (n log n + m)) bound
 /// uses Fibonacci heaps; on sparse routing graphs binary heaps are faster in
 /// practice (Section III-B), hence the default.
 enum class DijkstraHeap : std::uint8_t { kBinary, kFibonacci };
 
-/// Runs Dijkstra from the given sources (distance 0 each).
-/// \param target if valid, the search stops once target is settled.
-DijkstraResult dijkstra(const Graph& g, const std::vector<VertexId>& sources,
-                        const EdgeLengthFn& length,
-                        VertexId target = kInvalidVertex,
-                        DijkstraHeap heap = DijkstraHeap::kBinary);
+/// Core search kernel: label-setting from per-source seed distances, with
+/// both the heap and the length functor resolved at compile time.
+template <typename Heap, typename LengthFn>
+void dijkstra_search(const Graph& g,
+                     const std::vector<std::pair<VertexId, double>>& seeds,
+                     const LengthFn& length, VertexId target,
+                     DijkstraResult& r) {
+  Heap heap;
+  if constexpr (requires(Heap& h, std::size_t n) { h.reserve(n); }) {
+    heap.reserve(g.num_vertices());
+  }
+  for (const auto& [v, d] : seeds) {
+    CDST_CHECK(v < g.num_vertices());
+    if (d < r.dist[v]) {
+      r.dist[v] = d;
+      heap.push_or_decrease(v, d);
+    }
+  }
+  while (!heap.empty()) {
+    const VertexId u = heap.pop_min();
+    if (u == target) break;
+    const double du = r.dist[u];
+    for (const Graph::Arc& a : g.arcs(u)) {
+      const double w = length(a.edge);
+      CDST_ASSERT(w >= 0.0);
+      const double nd = du + w;
+      if (nd < r.dist[a.to]) {
+        r.dist[a.to] = nd;
+        r.parent_edge[a.to] = a.edge;
+        r.parent[a.to] = u;
+        heap.push_or_decrease(a.to, nd);
+      }
+    }
+  }
+}
 
 /// Dijkstra with per-source initial distances ("potential" form used by the
 /// topology embedding DP: labels seed from a previous DP table).
+template <typename LengthFn>
 DijkstraResult dijkstra_with_initial_labels(
     const Graph& g, const std::vector<std::pair<VertexId, double>>& seeds,
-    const EdgeLengthFn& length, VertexId target = kInvalidVertex,
-    DijkstraHeap heap = DijkstraHeap::kBinary);
+    const LengthFn& length, VertexId target = kInvalidVertex,
+    DijkstraHeap heap = DijkstraHeap::kBinary) {
+  const std::size_t n = g.num_vertices();
+  DijkstraResult r;
+  r.dist.assign(n, DijkstraResult::kInf);
+  r.parent_edge.assign(n, kInvalidEdge);
+  r.parent.assign(n, kInvalidVertex);
+
+  if (heap == DijkstraHeap::kFibonacci) {
+    dijkstra_search<FibonacciHeap<double>>(g, seeds, length, target, r);
+  } else {
+    dijkstra_search<BinaryHeap<double>>(g, seeds, length, target, r);
+  }
+  return r;
+}
+
+/// Runs Dijkstra from the given sources (distance 0 each).
+/// \param target if valid, the search stops once target is settled.
+template <typename LengthFn>
+DijkstraResult dijkstra(const Graph& g, const std::vector<VertexId>& sources,
+                        const LengthFn& length,
+                        VertexId target = kInvalidVertex,
+                        DijkstraHeap heap = DijkstraHeap::kBinary) {
+  std::vector<std::pair<VertexId, double>> seeds;
+  seeds.reserve(sources.size());
+  for (VertexId s : sources) seeds.emplace_back(s, 0.0);
+  return dijkstra_with_initial_labels(g, seeds, length, target, heap);
+}
 
 /// Potential-seeded Dijkstra over a full initial vector: computes
 /// M(v) = min_u ( init[u] + dist(u, v) ) for all v. Entries with +inf are
 /// not seeded. The workhorse of the optimal topology embedding.
+template <typename LengthFn>
 DijkstraResult dijkstra_from_potentials(const Graph& g,
                                         const std::vector<double>& init,
-                                        const EdgeLengthFn& length);
+                                        const LengthFn& length) {
+  CDST_CHECK(init.size() == g.num_vertices());
+  std::vector<std::pair<VertexId, double>> seeds;
+  for (VertexId v = 0; v < init.size(); ++v) {
+    if (init[v] < DijkstraResult::kInf) seeds.emplace_back(v, init[v]);
+  }
+  return dijkstra_with_initial_labels(g, seeds, length);
+}
 
 }  // namespace cdst

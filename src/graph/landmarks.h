@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,7 +21,39 @@ namespace cdst {
 class Landmarks {
  public:
   /// Builds k landmarks on graph g with the given (static) edge lengths.
-  Landmarks(const Graph& g, const EdgeLengthFn& length, std::size_t k);
+  /// Accepts any edge-length functor (ArrayLength, a lambda, EdgeLengthFn);
+  /// the k full-graph Dijkstra runs instantiate the kernel on that concrete
+  /// type, so preprocessing pays no per-edge indirection.
+  template <typename LengthFn>
+  Landmarks(const Graph& g, const LengthFn& length, std::size_t k) {
+    const std::size_t n = g.num_vertices();
+    CDST_CHECK(n > 0);
+    k = std::min(k, n);
+
+    // Avoid-farthest greedy: first landmark is vertex 0; each next landmark
+    // is the vertex farthest from the already-chosen set.
+    std::vector<double> min_dist(n, DijkstraResult::kInf);
+    VertexId next = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      picks_.push_back(next);
+      DijkstraResult r = dijkstra(g, {next}, length);
+      // Unreachable vertices keep +inf in the table; lower_bound() then
+      // yields +inf - +inf = nan, so zero them instead (conservative: the
+      // bound degrades to 0 across disconnected pairs).
+      for (double& d : r.dist) {
+        if (d == DijkstraResult::kInf) d = 0.0;  // conservative: bound degrades
+      }
+      tables_.push_back(std::move(r.dist));
+      double far = -1.0;
+      for (VertexId v = 0; v < n; ++v) {
+        min_dist[v] = std::min(min_dist[v], tables_.back()[v]);
+        if (min_dist[v] > far && min_dist[v] < DijkstraResult::kInf) {
+          far = min_dist[v];
+          next = v;
+        }
+      }
+    }
+  }
 
   std::size_t count() const { return tables_.size(); }
 

@@ -9,9 +9,8 @@ FutureCost::FutureCost(const RoutingGrid& grid, std::size_t num_landmarks)
       min_via_cost_(grid.min_via_cost()),
       min_via_delay_(grid.min_via_delay()) {
   if (num_landmarks > 0) {
-    const std::vector<double>& base = grid.base_costs();
     landmarks_ = std::make_unique<Landmarks>(
-        grid.graph(), [&base](EdgeId e) { return base[e]; }, num_landmarks);
+        grid.graph(), ArrayLength{grid.base_costs()}, num_landmarks);
   }
 }
 

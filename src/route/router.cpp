@@ -56,10 +56,12 @@ RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
 
   OracleParams oracle = options.oracle;
   const int threads = std::max(1, options.threads);
-  const std::size_t batch = threads == 1
-                                ? 1
-                                : static_cast<std::size_t>(
-                                      std::max(1, options.batch_size));
+  // The batch structure is part of the algorithm's semantics (nets in a batch
+  // price against the same frozen snapshot), so it must not depend on the
+  // thread count — otherwise threads=1 and threads=N would route differently,
+  // breaking the determinism contract documented on RouterOptions::threads.
+  const std::size_t batch =
+      static_cast<std::size_t>(std::max(1, options.batch_size));
   for (int iter = 0; iter < options.iterations; ++iter) {
     for (std::size_t lo = 0; lo < num_nets; lo += batch) {
       const std::size_t hi = std::min(num_nets, lo + batch);

@@ -40,8 +40,10 @@ struct RouterOptions {
   /// price snapshot, then committed — results are deterministic and
   /// independent of the thread count (the paper's runs use 16 threads).
   int threads{1};
-  /// Nets per parallel batch (larger batches = more parallelism but prices
-  /// within a batch do not see each other's usage).
+  /// Nets per rip-up/re-route batch (larger batches = more parallelism but
+  /// prices within a batch do not see each other's usage). The batch
+  /// structure applies independently of `threads`, which is what makes
+  /// results thread-count invariant.
   int batch_size{48};
 };
 

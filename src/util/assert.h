@@ -8,6 +8,13 @@
 
 #pragma once
 
+// The library relies on C++20 (std::span, <bit>, constraints). Without this
+// guard a C++17 build dies on an opaque <span> error deep inside graph.h;
+// fail early with an actionable message instead.
+#if defined(_MSVC_LANG) ? (_MSVC_LANG < 202002L) : (__cplusplus < 202002L)
+#error "cdst requires C++20: compile with -std=c++20 (or /std:c++20) or newer"
+#endif
+
 #include <sstream>
 #include <stdexcept>
 #include <string>

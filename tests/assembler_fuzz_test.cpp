@@ -32,57 +32,75 @@ TEST_P(AssemblerFuzz, RandomGrowthSchedulesStayValid) {
   tree_vertices.push_back(root);
 
   // Grow: every terminal walks randomly until it touches the structure.
+  // The attachment is *planned* before the assembler is mutated: a
+  // self-avoiding walk frequently corners itself (and once used edges wall a
+  // start vertex in, no reshuffle can save it), so failed attempts retry
+  // with a fresh start vertex. A schedule only skips if a bounded number of
+  // independent attempts all get stuck, which is vanishingly rare.
   const std::size_t num_sinks = 4 + GetParam() % 12;
   for (std::size_t s = 0; s < num_sinks; ++s) {
-    VertexId at = grid.vertex_at(
-        static_cast<std::int32_t>(rng.uniform(10)),
-        static_cast<std::int32_t>(rng.uniform(10)),
-        static_cast<std::int32_t>(rng.uniform(3)));
-    // Restart until the start vertex is off-structure (covers() may hold for
-    // sinks placed exactly on it; allow that case too occasionally).
-    const TreeAssembler::NodeId sink =
-        a.add_sink(at, static_cast<std::int32_t>(s));
-    if (a.covers(at) && rng.bernoulli(0.5)) {
-      // Terminal dropped onto the structure: zero-length attach.
-      const TreeAssembler::NodeId host = a.node_at(at);
-      if (host != sink && host != TreeAssembler::kNoNode) {
-        a.add_segment(sink, host, {});
-        continue;
-      }
-    }
-    // Random walk avoiding already-used edges and revisits until touching
-    // the structure.
+    VertexId at = kInvalidVertex;
     std::vector<EdgeId> path;
-    std::set<VertexId> visited{at};
-    VertexId cur = at;
-    bool attached = false;
-    for (int step = 0; step < 400 && !attached; ++step) {
-      const auto arcs = g.arcs(cur);
-      // Random arc order.
-      const std::size_t off = rng.uniform(arcs.size());
-      bool moved = false;
-      for (std::size_t k = 0; k < arcs.size(); ++k) {
-        const Graph::Arc& arc = arcs[(k + off) % arcs.size()];
-        if (used_edges.count(arc.edge) != 0u ||
-            visited.count(arc.to) != 0u) {
-          continue;
-        }
-        path.push_back(arc.edge);
-        cur = arc.to;
-        visited.insert(cur);
-        moved = true;
+    VertexId cur = kInvalidVertex;
+    bool zero_attach = false;
+    bool planned = false;
+    constexpr int kMaxAttempts = 32;
+    for (int attempt = 0; attempt < kMaxAttempts && !planned; ++attempt) {
+      at = grid.vertex_at(
+          static_cast<std::int32_t>(rng.uniform(10)),
+          static_cast<std::int32_t>(rng.uniform(10)),
+          static_cast<std::int32_t>(rng.uniform(3)));
+      if (a.covers(at) && rng.bernoulli(0.5)) {
+        // Terminal dropped onto the structure: zero-length attach.
+        zero_attach = true;
+        planned = true;
         break;
       }
-      if (!moved) break;
-      if (a.covers(cur) || cur == root) {
-        attached = true;
+      // Random walk avoiding already-used edges and revisits until touching
+      // the structure.
+      path.clear();
+      std::set<VertexId> visited{at};
+      cur = at;
+      for (int step = 0; step < 400 && !planned; ++step) {
+        const auto arcs = g.arcs(cur);
+        // Random arc order.
+        const std::size_t off = rng.uniform(arcs.size());
+        bool moved = false;
+        for (std::size_t k = 0; k < arcs.size(); ++k) {
+          const Graph::Arc& arc = arcs[(k + off) % arcs.size()];
+          if (used_edges.count(arc.edge) != 0u ||
+              visited.count(arc.to) != 0u) {
+            continue;
+          }
+          path.push_back(arc.edge);
+          cur = arc.to;
+          visited.insert(cur);
+          moved = true;
+          break;
+        }
+        if (!moved) break;
+        if (a.covers(cur) || cur == root) {
+          planned = true;
+        }
       }
     }
-    if (!attached) {
-      // Walk got stuck (rare); connect trivially at the root via the
-      // assembler only if the sink randomly started on the structure —
-      // otherwise skip this schedule.
-      GTEST_SKIP() << "random walk failed to attach (seed artefact)";
+    if (!planned) {
+      // Every attempt got stuck — the structure has become unreachable
+      // without reusing edges (used edges can saturate the small grid).
+      GTEST_SKIP() << "no growth attempt attached after " << kMaxAttempts
+                   << " tries";
+    }
+    // The structure node at `at` must be resolved before add_sink: terminals
+    // own their vertex in the location map, so afterwards node_at(at) would
+    // return the freshly added sink itself.
+    const TreeAssembler::NodeId prior =
+        zero_attach ? a.node_at(at) : TreeAssembler::kNoNode;
+    const TreeAssembler::NodeId sink =
+        a.add_sink(at, static_cast<std::int32_t>(s));
+    if (zero_attach) {
+      ASSERT_NE(prior, TreeAssembler::kNoNode);
+      a.add_segment(sink, prior, {});
+      continue;
     }
     const TreeAssembler::NodeId host = a.node_at(cur);
     ASSERT_NE(host, TreeAssembler::kNoNode);
@@ -99,7 +117,7 @@ TEST_P(AssemblerFuzz, RandomGrowthSchedulesStayValid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzz,
-                         ::testing::Range<std::uint64_t>(1, 25));
+                         ::testing::Range<std::uint64_t>(1, 49));
 
 }  // namespace
 }  // namespace cdst
