@@ -23,17 +23,27 @@ struct Config {
   const char* name;
   bool discount, astar, placement, encourage_root;
   QueueKind queue{QueueKind::kTwoLevel};
+  bool pooled{true};
 };
 
 constexpr Config kConfigs[] = {
-    {"all-on", true, true, true, true, QueueKind::kTwoLevel},
-    {"no-discount (III-A off)", false, true, true, true, QueueKind::kTwoLevel},
-    {"no-astar (III-C off)", true, false, true, true, QueueKind::kTwoLevel},
-    {"no-placement (III-D off)", true, true, false, true, QueueKind::kTwoLevel},
-    {"no-root-bonus (III-E off)", true, true, true, false, QueueKind::kTwoLevel},
+    {"all-on", true, true, true, true, QueueKind::kTwoLevel, true},
+    {"no-discount (III-A off)", false, true, true, true, QueueKind::kTwoLevel,
+     true},
+    {"no-astar (III-C off)", true, false, true, true, QueueKind::kTwoLevel,
+     true},
+    {"no-placement (III-D off)", true, true, false, true, QueueKind::kTwoLevel,
+     true},
+    {"no-root-bonus (III-E off)", true, true, true, false,
+     QueueKind::kTwoLevel, true},
     {"single lazy heap (III-B off)", true, true, true, true,
-     QueueKind::kSingleLazy},
-    {"plain Algorithm 1", false, false, false, false, QueueKind::kTwoLevel},
+     QueueKind::kSingleLazy, true},
+    // Identical results by construction (see the pooled-state determinism
+    // test); this row isolates the allocation cost the pool removes.
+    {"no state pool (alloc per search)", true, true, true, true,
+     QueueKind::kTwoLevel, false},
+    {"plain Algorithm 1", false, false, false, false, QueueKind::kTwoLevel,
+     true},
 };
 
 }  // namespace
@@ -89,6 +99,7 @@ int main(int argc, char** argv) {
       o.better_steiner_placement = kConfigs[c].placement;
       o.encourage_root = kConfigs[c].encourage_root;
       o.queue = kConfigs[c].queue;
+      o.pool_search_state = kConfigs[c].pooled;
       WallTimer st;
       const SolveResult r = solve_cost_distance(oi.instance(), o);
       solve_time[c] += st.seconds();

@@ -7,6 +7,9 @@
 
 #include <memory>
 #include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/cost_distance.h"
 #include "grid/future_cost.h"
@@ -107,4 +110,27 @@ BENCHMARK(BM_CostDistance_AStarOnOff)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Emits machine-readable results to BENCH_cd_scaling.json by default so the
+// perf trajectory is tracked PR-over-PR (CI uploads it as an artifact); any
+// explicit --benchmark_out= flag takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_cd_scaling.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,16 +4,16 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <span>
 
 #include "geom/nearest.h"
 #include "geom/rect.h"
 #include "graph/dijkstra.h"
+#include "util/d_ary_heap.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/sparse_map.h"
 #include "util/two_level_heap.h"
-
-#include <queue>
 
 namespace cdst {
 namespace {
@@ -26,14 +26,142 @@ struct Label {
   double g{kInf};
   std::uint32_t parent_idx{0xffffffffu};  ///< label arena index of predecessor
   EdgeId parent_edge{kInvalidEdge};
+  std::uint32_t depth{0};  ///< #edges on the parent chain back to the seed
   bool settled{false};
   bool completion_pushed{false};
 };
 
+/// Reusable per-search scratch: a label arena plus a vertex -> label index.
+/// In dense mode the index is an epoch-versioned flat array — resetting for
+/// a new search is O(1): bump the epoch, clear the arena (capacity
+/// retained) — so the ~2t searches of a t-sink solve stop churning the
+/// allocator entirely. Dense arrays cost O(n) per live state and up to t+1
+/// states are live at once, so above a memory budget the pool falls back to
+/// a sparse (hash) index with O(touched) memory — exactly the pre-pool
+/// trade-off, still recycling capacity across searches.
+struct SearchState {
+  std::vector<Label> labels;  ///< arena; heap entries reference slots
+
+  /// Starts a fresh search over a graph with n vertices.
+  void reset(std::size_t n, bool dense) {
+    labels.clear();
+    dense_ = dense;
+    if (!dense_) {
+      sparse_.clear();
+      return;
+    }
+    if (slots_.size() != n) {
+      slots_.assign(n, VersionedSlot{});
+      epoch_ = 1;
+    } else if (++epoch_ == 0) {  // u32 wrap: invalidate all stamps the slow way
+      std::fill(slots_.begin(), slots_.end(), VersionedSlot{});
+      epoch_ = 1;
+    }
+  }
+
+  /// Mutable slot for vertex v: label arena index + 1, 0 if unlabelled.
+  std::uint32_t& slot(VertexId v) {
+    if (!dense_) return sparse_[v];
+    VersionedSlot& s = slots_[v];
+    if (s.stamp != epoch_) {
+      s.stamp = epoch_;
+      s.idx = 0;
+    }
+    return s.idx;
+  }
+
+  /// Future-bound memo, versioned by the solver's merge generation. The
+  /// bound h(comp, x) is a function of the component (fixed for a state's
+  /// lifetime — states are only recycled across a generation bump) and the
+  /// set of active targets, which mutates exactly at merges; so a hit
+  /// returns bit-identically what a recompute would. This matters: the
+  /// nearest-neighbor query inside the bound dominates solve time (~86% of
+  /// the profile before memoization), and every settle re-derives the bound
+  /// for each neighbor it relaxes. Sparse mode skips the memo (a miss only
+  /// costs the recompute the dense memo would have avoided — results are
+  /// identical either way).
+  bool h_cached(VertexId v, std::uint32_t gen, double* h) const {
+    if (!dense_) return false;
+    const VersionedSlot& s = slots_[v];
+    if (s.h_stamp != gen) return false;
+    *h = s.h;
+    return true;
+  }
+  void store_h(VertexId v, std::uint32_t gen, double h) {
+    if (!dense_) return;
+    slots_[v].h_stamp = gen;
+    slots_[v].h = h;
+  }
+
+  std::uint32_t pool_idx{0};  ///< position in SearchStatePool::all_
+
+  static constexpr std::size_t slot_bytes() { return sizeof(VersionedSlot); }
+
+ private:
+  struct VersionedSlot {
+    std::uint32_t stamp{0};    ///< valid iff equal to the owner's epoch
+    std::uint32_t idx{0};
+    std::uint32_t h_stamp{0};  ///< valid iff equal to the solver's merge gen
+    double h{0.0};
+  };
+  std::vector<VersionedSlot> slots_;
+  SparseMap<std::uint32_t> sparse_;  ///< vertex -> index + 1 (sparse mode)
+  std::uint32_t epoch_{0};
+  bool dense_{true};
+};
+
+/// Pool of SearchStates. At most #active-components states are live at once,
+/// so the pool's high-water mark is t+1 states even though ~2t searches are
+/// seeded over a solve. Unpooled mode (the ablation) allocates and frees a
+/// fresh state per search, reproducing the pre-pool behavior.
+class SearchStatePool {
+ public:
+  /// Dense per-state index arrays cost (t+1) * n slot entries across the
+  /// pool's high-water mark; above the caller's budget the states fall back
+  /// to sparse indexes (O(touched) memory, no future-bound memo).
+  SearchStatePool(std::size_t num_vertices, std::size_t num_sinks, bool pooled,
+                  std::size_t dense_budget_bytes)
+      : n_(num_vertices),
+        pooled_(pooled),
+        dense_((num_sinks + 1) * num_vertices <=
+               dense_budget_bytes / SearchState::slot_bytes()) {}
+
+  SearchState* acquire() {
+    if (pooled_ && !free_.empty()) {
+      SearchState* st = free_.back();
+      free_.pop_back();
+      st->reset(n_, dense_);
+      return st;
+    }
+    all_.push_back(std::make_unique<SearchState>());
+    SearchState* st = all_.back().get();
+    st->pool_idx = static_cast<std::uint32_t>(all_.size() - 1);
+    st->reset(n_, dense_);
+    return st;
+  }
+
+  void release(SearchState* st) {
+    if (pooled_) {
+      free_.push_back(st);
+      return;
+    }
+    const std::uint32_t i = st->pool_idx;
+    all_[i] = std::move(all_.back());
+    all_[i]->pool_idx = i;
+    all_.pop_back();
+  }
+
+ private:
+  std::size_t n_;
+  bool pooled_;
+  bool dense_;
+  std::vector<std::unique_ptr<SearchState>> all_;
+  std::vector<SearchState*> free_;
+};
+
 /// One Dijkstra search (one per active sink component).
 struct Search {
-  std::vector<Label> labels;          ///< arena; heap entries reference slots
-  SparseMap<std::uint32_t> index;     ///< graph vertex -> arena index + 1
+  SearchState* state{nullptr};  ///< owned by the pool; null when inactive
   bool active{false};
 };
 
@@ -96,13 +224,12 @@ class SolverQueue {
     double key;
     std::uint32_t group;
     std::uint32_t entry;
-    bool operator>(const LazyEntry& o) const { return key > o.key; }
+    bool operator<(const LazyEntry& o) const { return key < o.key; }
   };
 
   QueueKind kind_;
   TwoLevelHeap<double> two_level_;
-  std::priority_queue<LazyEntry, std::vector<LazyEntry>, std::greater<>>
-      lazy_;
+  DAryQueue<LazyEntry, 4> lazy_;
 };
 
 class Solver {
@@ -115,6 +242,8 @@ class Solver {
         d_(*inst.delay),
         assembler_(*inst.graph),
         heap_(opts.queue),
+        state_pool_(inst.graph->num_vertices(), inst.sinks.size(),
+                    opts.pool_search_state, opts.dense_state_budget_bytes),
         rng_(opts.seed) {
     astar_on_ = opts_.use_astar && opts_.future_cost != nullptr;
     place_on_ = opts_.better_steiner_placement && opts_.future_cost != nullptr;
@@ -225,25 +354,30 @@ class Solver {
     if (comp >= searches_.size()) searches_.resize(comp + 1);
     Search& s = searches_[comp];
     s.active = true;
-    s.labels.clear();
-    s.labels.push_back(Label{comps_[comp].terminal, 0.0, 0xffffffffu,
-                             kInvalidEdge, false, false});
-    s.index[comps_[comp].terminal] = 1;  // arena index 0, stored +1
+    s.state = state_pool_.acquire();
+    s.state->labels.push_back(Label{comps_[comp].terminal, 0.0, 0xffffffffu,
+                                    kInvalidEdge, 0, false, false});
+    s.state->slot(comps_[comp].terminal) = 1;  // arena index 0, stored +1
     heap_.push_or_decrease(comp, 0, future_bound(comp, comps_[comp].terminal));
   }
 
   void deactivate_search(std::uint32_t comp) {
     if (comp >= searches_.size() || !searches_[comp].active) return;
     searches_[comp].active = false;
-    searches_[comp].labels = {};
-    searches_[comp].index = SparseMap<std::uint32_t>{};
+    state_pool_.release(searches_[comp].state);
+    searches_[comp].state = nullptr;
     heap_.erase_group(comp);
   }
 
   /// Admissible lower bound h_u(x) on the remaining search metric from x to
-  /// the nearest active target (Section III-C).
+  /// the nearest active target (Section III-C). Memoized in the search state
+  /// (see SearchState::h_cached) and invalidated wholesale — one generation
+  /// bump — whenever a merge changes the target set.
   double future_bound(std::uint32_t comp, VertexId x) {
     if (!astar_on_) return 0.0;
+    SearchState& st = *searches_[comp].state;
+    double cached;
+    if (st.h_cached(x, h_gen_, &cached)) return cached;
     const FutureCostOracle& fc = *opts_.future_cost;
     const double w = comps_[comp].weight;
     const bool cost_ok = comps_[comp].singleton;  // discount feasibility
@@ -261,6 +395,7 @@ class Solver {
       if (cost_ok) ht += dist * fc.min_unit_cost();
       h = std::min(h, ht);
     }
+    st.store_h(x, h_gen_, h);
     return h;
   }
 
@@ -281,7 +416,7 @@ class Solver {
   }
 
   void settle_and_relax(std::uint32_t u, std::uint32_t label_idx) {
-    Search& su = searches_[u];
+    SearchState& su = *searches_[u].state;
     Label& lab = su.labels[label_idx];
     if (lab.settled) return;
     lab.settled = true;
@@ -308,26 +443,28 @@ class Solver {
     const CostDelayLength metric{c_, d_, w};  // l_u(e) = c(e) + w d(e)
     const VertexId vtx = lab.vertex;
     const double base_g = lab.g;
+    const std::uint32_t next_depth = lab.depth + 1;
     for (const Graph::Arc& a : g_.arcs(vtx)) {
       // Edges already owned by u are traversed at zero *cost* under the
       // Section III-A discount; the delay part always applies.
       const double ng = base_g + (edge_discounted(a.edge, u)
                                       ? w * d_[a.edge]
                                       : metric(a.edge));
-      std::uint32_t& slot = searches_[u].index[a.to];
+      std::uint32_t& slot = su.slot(a.to);
       if (slot == 0) {
-        searches_[u].labels.push_back(
-            Label{a.to, ng, label_idx, a.edge, false, false});
-        slot = static_cast<std::uint32_t>(searches_[u].labels.size());
+        su.labels.push_back(
+            Label{a.to, ng, label_idx, a.edge, next_depth, false, false});
+        slot = static_cast<std::uint32_t>(su.labels.size());
         heap_.push_or_decrease(u, (slot - 1) * 2,
                                ng + future_bound(u, a.to));
         ++stats_.labels_relaxed;
       } else {
-        Label& nl = searches_[u].labels[slot - 1];
+        Label& nl = su.labels[slot - 1];
         if (!nl.settled && ng < nl.g) {
           nl.g = ng;
           nl.parent_idx = label_idx;
           nl.parent_edge = a.edge;
+          nl.depth = next_depth;
           heap_.push_or_decrease(u, (slot - 1) * 2,
                                  ng + future_bound(u, a.to));
           ++stats_.labels_relaxed;
@@ -339,7 +476,7 @@ class Solver {
   void handle_completion(std::uint32_t u, std::uint32_t label_idx,
                          double popped_key) {
     ++stats_.completions_popped;
-    Search& su = searches_[u];
+    const SearchState& su = *searches_[u].state;
     const Label& lab = su.labels[label_idx];
     const std::uint32_t o = owner_of(lab.vertex);
     if (o == kNoComp || o == u || !comps_[o].active) {
@@ -360,20 +497,31 @@ class Solver {
   // ---------------------------------------------------------------- merge --
   void merge(std::uint32_t u, std::uint32_t label_idx, std::uint32_t o) {
     ++stats_.iterations;
-    Search& su = searches_[u];
+    const SearchState& su = *searches_[u].state;
 
-    // Reconstruct the search path seed -> labelled vertex.
-    std::vector<VertexId> pverts;
-    std::vector<EdgeId> pedges;
-    for (std::uint32_t cur = label_idx;;) {
-      const Label& l = su.labels[cur];
-      pverts.push_back(l.vertex);
-      if (l.parent_idx == 0xffffffffu) break;
-      pedges.push_back(l.parent_edge);
-      cur = l.parent_idx;
+    // Reconstruct the search path seed -> labelled vertex into pooled
+    // scratch, sized exactly from the label's recorded depth and filled
+    // back-to-front (no reverse pass). Every label on the parent chain is
+    // settled, so the chain and the depths are stable.
+    std::vector<VertexId>& pverts = path_verts_;
+    std::vector<EdgeId>& pedges = path_edges_;
+    const std::uint32_t depth = su.labels[label_idx].depth;
+    pverts.resize(depth + 1);
+    pedges.resize(depth);
+    {
+      std::uint32_t cur = label_idx;
+      for (std::uint32_t k = depth;; --k) {
+        const Label& l = su.labels[cur];
+        pverts[k] = l.vertex;
+        if (l.parent_idx == 0xffffffffu) {
+          CDST_ASSERT(k == 0);
+          break;
+        }
+        CDST_ASSERT(k > 0);
+        pedges[k - 1] = l.parent_edge;
+        cur = l.parent_idx;
+      }
     }
-    std::reverse(pverts.begin(), pverts.end());
-    std::reverse(pedges.begin(), pedges.end());
 
     // Trim the prefix that runs inside u's own tree (those edges already
     // exist; the search traverses them at zero connection cost under the
@@ -405,8 +553,7 @@ class Solver {
                                          ? comps_[o].node
                                          : assembler_.node_at(pverts[j]);
     CDST_CHECK(na != TreeAssembler::kNoNode && nb != TreeAssembler::kNoNode);
-    const std::vector<EdgeId> seg(pedges.begin() + static_cast<std::ptrdiff_t>(istar),
-                                  pedges.begin() + static_cast<std::ptrdiff_t>(j));
+    const std::span<const EdgeId> seg(pedges.data() + istar, j - istar);
     if (na != nb) assembler_.add_segment(na, nb, seg);
 
     // New merged component.
@@ -461,6 +608,11 @@ class Solver {
       if (nn_->active(o)) nn_->erase(o);
       nn_->insert(s, xy_of(cs.terminal));
     }
+    // The active target set changed: every memoized future bound is stale.
+    // Bumping the generation both invalidates surviving searches' memos and
+    // fences recycled states (released above) from leaking h-values into the
+    // search seeded below.
+    ++h_gen_;
 
     --remaining_;
     if (!root_merge) seed_search(s);
@@ -480,21 +632,21 @@ class Solver {
     const double wo = comps_[o].weight;
     if (place_on_ && j > istar) {
       // Minimize  c(Q) + (wu+wo) d(Q) + wu d(P[au,s]) + wo d(P[s,ao])
-      // with the s-root path Q estimated by future costs.
+      // with the s-root path Q estimated by future costs. The wo * d(P) term
+      // is constant over candidate positions, so the argmin needs only the
+      // running prefix — one pass, no up-front total-delay scan.
       const FutureCostOracle& fc = *opts_.future_cost;
       const VertexId rootv = comps_[root_comp_].terminal;
       const double wsum = wu + wo;
       double prefix = 0.0;
-      double total = 0.0;
-      for (std::size_t i = istar; i < j; ++i) total += d_[pedges[i]];
       double best = kInf;
       VertexId best_v = pverts[istar];
       for (std::size_t i = istar; i <= j; ++i) {
         if (i > istar) prefix += d_[pedges[i - 1]];
         const VertexId v = pverts[i];
         const double score = fc.cost_lb(v, rootv) +
-                             wsum * fc.delay_lb(v, rootv) + wu * prefix +
-                             wo * (total - prefix);
+                             wsum * fc.delay_lb(v, rootv) +
+                             (wu - wo) * prefix;
         if (score < best) {
           best = score;
           best_v = v;
@@ -518,6 +670,7 @@ class Solver {
 
   TreeAssembler assembler_;
   SolverQueue heap_;
+  SearchStatePool state_pool_;
   Rng rng_;
   bool astar_on_{false};
   bool place_on_{false};
@@ -528,9 +681,13 @@ class Solver {
   SparseMap<std::uint32_t> vertex_owner_;
   SparseMap<std::uint32_t> edge_owner_;
   std::unique_ptr<L1NearestNeighbor> nn_;
+  /// Pooled merge() scratch for path reconstruction.
+  std::vector<VertexId> path_verts_;
+  std::vector<EdgeId> path_edges_;
 
   std::uint32_t root_comp_{0};
   std::uint32_t remaining_{0};
+  std::uint32_t h_gen_{1};  ///< future-bound memo generation (see merge())
   double active_sink_weight_{0.0};
   SolveStats stats_;
 };

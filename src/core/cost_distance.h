@@ -50,6 +50,17 @@ struct SolverOptions {
   /// Validate the produced tree structure against the graph (cheap; on by
   /// default).
   bool validate_result{true};
+  /// Recycle per-search label arenas and vertex index arrays across the ~2t
+  /// searches of a solve (epoch-versioned O(1) resets) instead of allocating
+  /// fresh state per search. Identical results either way; off only for the
+  /// allocation-cost ablation (see ablation_enhancements).
+  bool pool_search_state{true};
+  /// Memory budget for the dense per-search vertex index arrays (t+1 live
+  /// searches x n vertices). Above it, searches fall back to sparse hash
+  /// indexes with O(touched-labels) memory — slower per lookup and without
+  /// the future-bound memo, but identical results (the windowed router
+  /// oracles always fit; huge standalone instances may not).
+  std::size_t dense_state_budget_bytes{512u << 20};
 
   /// III-B: heap organization of the label queues.
   QueueKind queue{QueueKind::kTwoLevel};

@@ -146,7 +146,7 @@ TreeAssembler::NodeId TreeAssembler::split_segment(std::uint32_t seg_id,
 }
 
 void TreeAssembler::add_segment(NodeId a, NodeId b,
-                                const std::vector<EdgeId>& path) {
+                                std::span<const EdgeId> path) {
   CDST_CHECK(a < nodes_.size() && b < nodes_.size());
   if (a == b) {
     CDST_CHECK_MSG(path.empty(), "non-empty segment with equal endpoints");
@@ -155,7 +155,7 @@ void TreeAssembler::add_segment(NodeId a, NodeId b,
   Seg s;
   s.a = a;
   s.b = b;
-  s.edges = path;
+  s.edges.assign(path.begin(), path.end());
   s.verts.reserve(path.size() + 1);
   VertexId at = nodes_[a].v;
   s.verts.push_back(at);

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -74,8 +76,12 @@ class TreeAssembler {
   NodeId add_steiner(VertexId v);
 
   /// Connects two existing nodes with an embedded path (edge ids, ordered
-  /// from a to b; may be empty if both nodes share a vertex).
-  void add_segment(NodeId a, NodeId b, const std::vector<EdgeId>& path);
+  /// from a to b; may be empty if both nodes share a vertex). The path is
+  /// copied into the assembler; callers may pass views into reused scratch.
+  void add_segment(NodeId a, NodeId b, std::span<const EdgeId> path);
+  void add_segment(NodeId a, NodeId b, std::initializer_list<EdgeId> path) {
+    add_segment(a, b, std::span<const EdgeId>(path.begin(), path.size()));
+  }
 
   /// Returns a node located at graph vertex v, creating a Steiner node by
   /// splitting an embedded segment if v currently lies in a segment

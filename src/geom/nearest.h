@@ -16,6 +16,7 @@
 
 #include "geom/point.h"
 #include "util/assert.h"
+#include "util/sparse_map.h"
 
 namespace cdst {
 
@@ -110,26 +111,59 @@ class L1NearestNeighbor {
     return v >= 0 ? v / bucket_size_ : -((-v + bucket_size_ - 1) / bucket_size_);
   }
 
+  /// Whether bucket coordinates fit the packed uint32 key space. Keys are
+  /// taken relative to the first inserted point's bucket, so the +-32k span
+  /// bounds the structure's *extent* in buckets (any chip fits), not its
+  /// absolute position. Ring sweeps may step outside this range; only
+  /// inserts must stay inside it.
+  bool packable(std::int32_t bx, std::int32_t by) const {
+    const std::int32_t rx = bx - org_x_;
+    const std::int32_t ry = by - org_y_;
+    return rx >= -0x8000 && rx < 0x8000 && ry >= -0x8000 && ry < 0x8000;
+  }
+
+  std::uint32_t bucket_key(std::int32_t bx, std::int32_t by) const {
+    CDST_ASSERT(packable(bx, by));
+    return (static_cast<std::uint32_t>(bx - org_x_ + 0x8000) << 16) |
+           static_cast<std::uint32_t>(by - org_y_ + 0x8000);
+  }
+
   std::vector<std::uint32_t>& bucket_of(const Point2& p) {
-    const std::int64_t key =
-        (static_cast<std::int64_t>(bucket_coord(p.x)) << 24) ^
-        (bucket_coord(p.y) & 0xffffff);
-    for (auto& [k, b] : buckets_) {
-      if (k == key) return b;
+    const std::int32_t bx = bucket_coord(p.x);
+    const std::int32_t by = bucket_coord(p.y);
+    if (buckets_.empty() && corner_slot_ == 0) {
+      org_x_ = bx;  // anchor the packed key space at the first point
+      org_y_ = by;
     }
-    buckets_.emplace_back(key, std::vector<std::uint32_t>{});
-    track_extent(bucket_coord(p.x), bucket_coord(p.y));
-    return buckets_.back().second;
+    // Hard input-domain check (survives Release): a wrapped key would file
+    // the point under an aliased bucket and silently corrupt queries.
+    CDST_CHECK_MSG(packable(bx, by),
+                   "L1NearestNeighbor: point set spans > 32k buckets");
+    const std::uint32_t key = bucket_key(bx, by);
+    // Exactly one coordinate pair packs to the SparseMap's reserved empty
+    // marker; route it to a dedicated slot instead of the map.
+    std::uint32_t& slot = key == SparseMap<std::uint32_t>::kEmpty
+                              ? corner_slot_
+                              : bucket_index_[key];
+    if (slot == 0) {
+      buckets_.emplace_back();
+      slot = static_cast<std::uint32_t>(buckets_.size());  // index + 1
+      track_extent(bx, by);
+    }
+    return buckets_[slot - 1];
   }
 
   const std::vector<std::uint32_t>* find_bucket(std::int32_t bx,
                                                 std::int32_t by) const {
-    const std::int64_t key = (static_cast<std::int64_t>(bx) << 24) ^
-                             (by & 0xffffff);
-    for (const auto& [k, b] : buckets_) {
-      if (k == key) return &b;
+    // Ring sweeps around edge-of-range buckets probe coords with no
+    // representable key; those buckets cannot exist (inserts assert).
+    if (!packable(bx, by)) return nullptr;
+    const std::uint32_t key = bucket_key(bx, by);
+    if (key == SparseMap<std::uint32_t>::kEmpty) {
+      return corner_slot_ == 0 ? nullptr : &buckets_[corner_slot_ - 1];
     }
-    return nullptr;
+    const std::uint32_t* slot = bucket_index_.find(key);
+    return slot == nullptr ? nullptr : &buckets_[*slot - 1];
   }
 
   void track_extent(std::int32_t bx, std::int32_t by) {
@@ -158,9 +192,14 @@ class L1NearestNeighbor {
 
   std::int32_t bucket_size_;
   std::vector<Entry> points_;
-  // Bucket list is small (terminals of one net); linear scan keyed by packed
-  // coords avoids hashing overhead at these sizes.
-  std::vector<std::pair<std::int64_t, std::vector<std::uint32_t>>> buckets_;
+  // Open-addressed coord -> bucket index. Ring queries probe O(r) buckets
+  // per ring, so the lookup must be O(1) — a linear scan over the bucket
+  // list turns large-terminal-count queries quadratic (it was ~80% of the
+  // solver profile at t = 128 before this index existed).
+  SparseMap<std::uint32_t> bucket_index_;
+  std::uint32_t corner_slot_{0};  ///< bucket whose key packs to kEmpty
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::int32_t org_x_{0}, org_y_{0};  ///< key-space anchor (first bucket)
   std::int32_t lo_x_{0}, hi_x_{0}, lo_y_{0}, hi_y_{0};
   std::size_t active_count_{0};
 };

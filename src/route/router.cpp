@@ -1,12 +1,12 @@
 #include "route/router.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <numeric>
-#include <thread>
+#include <span>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cdst {
@@ -56,10 +56,15 @@ RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
 
   OracleParams oracle = options.oracle;
   const int threads = std::max(1, options.threads);
-  // The batch structure is part of the algorithm's semantics (nets in a batch
+  // One persistent worker pool for the whole call: spawning fresh threads
+  // per batch costs more than many of the small batches themselves. The
+  // batch structure is part of the algorithm's semantics (nets in a batch
   // price against the same frozen snapshot), so it must not depend on the
   // thread count — otherwise threads=1 and threads=N would route differently,
   // breaking the determinism contract documented on RouterOptions::threads.
+  // The pool hands out net indices, and every result lands in its own
+  // index-addressed outcome slot, so that contract is preserved.
+  ThreadPool pool(threads);
   const std::size_t batch =
       static_cast<std::size_t>(std::max(1, options.batch_size));
   for (int iter = 0; iter < options.iterations; ++iter) {
@@ -74,36 +79,21 @@ RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
         }
       }
       std::vector<OracleOutcome> outcomes(hi - lo);
-      auto route_one = [&](std::size_t i) {
+      const std::function<void(std::size_t)> route_one = [&](std::size_t i) {
         const Net& net = netlist.nets[i];
         if (net.sinks.empty()) return;
-        const std::vector<double> weights(
-            result.sink_weights.begin() +
-                static_cast<std::ptrdiff_t>(sink_offset[i]),
-            result.sink_weights.begin() +
-                static_cast<std::ptrdiff_t>(sink_offset[i + 1]));
+        // The weights view borrows from result.sink_weights, which only
+        // changes between iterations — never while a batch is in flight.
+        const std::span<const double> weights(
+            result.sink_weights.data() + sink_offset[i],
+            sink_offset[i + 1] - sink_offset[i]);
         OracleParams p = oracle;
         p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
                  static_cast<std::uint64_t>(iter);
         outcomes[i - lo] =
             route_net(grid, costs, net, weights, options.method, p);
       };
-      if (threads == 1 || hi - lo == 1) {
-        for (std::size_t i = lo; i < hi; ++i) route_one(i);
-      } else {
-        std::atomic<std::size_t> next{lo};
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int tt = 0; tt < threads; ++tt) {
-          pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < hi;
-                 i = next.fetch_add(1)) {
-              route_one(i);
-            }
-          });
-        }
-        for (std::thread& th : pool) th.join();
-      }
+      pool.parallel_for(lo, hi, route_one);
       for (std::size_t i = lo; i < hi; ++i) {
         const Net& net = netlist.nets[i];
         if (net.sinks.empty()) continue;

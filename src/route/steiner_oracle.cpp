@@ -23,7 +23,7 @@ Rect net_window_box(const Net& net, const OracleParams& p) {
 
 OracleInstance::OracleInstance(const RoutingGrid& grid,
                                const CongestionCosts& costs, const Net& net,
-                               const std::vector<double>& sink_weights,
+                               std::span<const double> sink_weights,
                                const OracleParams& params)
     : window_(grid, costs, net_window_box(net, params)),
       future_cost_(window_) {
@@ -96,8 +96,7 @@ OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
 }
 
 OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
-                        const Net& net,
-                        const std::vector<double>& sink_weights,
+                        const Net& net, std::span<const double> sink_weights,
                         SteinerMethod method, const OracleParams& params) {
   OracleInstance oi(grid, costs, net, sink_weights, params);
   return run_method(oi, method, params);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/cost_distance.h"
 #include "embed/embedder.h"
@@ -34,8 +35,11 @@ struct OracleParams {
 /// embedded CostDistanceInstance points into (not copyable/movable).
 class OracleInstance {
  public:
+  /// `sink_weights` is a borrowed view (one weight per net sink); it is read
+  /// only during construction, so routers can pass views into their flat
+  /// per-sink arrays instead of materializing a per-net copy.
   OracleInstance(const RoutingGrid& grid, const CongestionCosts& costs,
-                 const Net& net, const std::vector<double>& sink_weights,
+                 const Net& net, std::span<const double> sink_weights,
                  const OracleParams& params);
 
   OracleInstance(const OracleInstance&) = delete;
@@ -70,8 +74,7 @@ OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
 
 /// Convenience wrapper: materialize + solve in one step (the router's path).
 OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
-                        const Net& net,
-                        const std::vector<double>& sink_weights,
+                        const Net& net, std::span<const double> sink_weights,
                         SteinerMethod method, const OracleParams& params);
 
 }  // namespace cdst

@@ -1,165 +1,20 @@
 /// \file binary_heap.h
 /// Addressable binary min-heap with decrease-key, keyed by dense item ids.
 ///
-/// This is the workhorse priority queue of the path searches. Items are
-/// identified by a caller-chosen dense id (e.g. a label index); the heap
-/// stores a position map so decrease_key and contains are O(1) lookups.
+/// The binary heap is the arity-2 instance of the generic d-ary heap (see
+/// d_ary_heap.h) — one implementation, every arity. Tie-breaking and sift
+/// behavior are bit-identical to the historical standalone binary heap:
+/// sift-down prefers the first (left) child on equal keys.
 
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "util/assert.h"
+#include "util/d_ary_heap.h"
 
 namespace cdst {
 
 /// Min-heap over (id, key) pairs. Ids must be < capacity passed at reserve
 /// time or grown implicitly; each id may be in the heap at most once.
 template <typename Key>
-class BinaryHeap {
- public:
-  using Id = std::uint32_t;
-  static constexpr std::uint32_t kNpos = 0xffffffffu;
-
-  BinaryHeap() = default;
-  explicit BinaryHeap(std::size_t capacity) { reserve(capacity); }
-
-  void reserve(std::size_t capacity) {
-    heap_.reserve(capacity);
-    if (pos_.size() < capacity) pos_.resize(capacity, kNpos);
-  }
-
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
-
-  bool contains(Id id) const { return id < pos_.size() && pos_[id] != kNpos; }
-
-  const Key& key_of(Id id) const {
-    CDST_ASSERT(contains(id));
-    return heap_[pos_[id]].key;
-  }
-
-  /// Smallest key in the heap. Precondition: !empty().
-  const Key& min_key() const {
-    CDST_ASSERT(!empty());
-    return heap_[0].key;
-  }
-
-  /// Id with the smallest key. Precondition: !empty().
-  Id min_id() const {
-    CDST_ASSERT(!empty());
-    return heap_[0].id;
-  }
-
-  /// Inserts id with the given key. Precondition: !contains(id).
-  void push(Id id, const Key& key) {
-    ensure_pos(id);
-    CDST_ASSERT(pos_[id] == kNpos);
-    heap_.push_back(Entry{key, id});
-    pos_[id] = static_cast<std::uint32_t>(heap_.size() - 1);
-    sift_up(heap_.size() - 1);
-  }
-
-  /// Inserts or lowers the key of id; returns true if the heap changed.
-  bool push_or_decrease(Id id, const Key& key) {
-    if (!contains(id)) {
-      push(id, key);
-      return true;
-    }
-    if (key < heap_[pos_[id]].key) {
-      heap_[pos_[id]].key = key;
-      sift_up(pos_[id]);
-      return true;
-    }
-    return false;
-  }
-
-  /// Lowers the key of an existing id. Precondition: key <= current key.
-  void decrease_key(Id id, const Key& key) {
-    CDST_ASSERT(contains(id));
-    CDST_ASSERT(!(heap_[pos_[id]].key < key));
-    heap_[pos_[id]].key = key;
-    sift_up(pos_[id]);
-  }
-
-  /// Removes and returns the id with the smallest key.
-  Id pop_min() {
-    CDST_ASSERT(!empty());
-    const Id top = heap_[0].id;
-    remove_at(0);
-    return top;
-  }
-
-  /// Removes an arbitrary contained id.
-  void erase(Id id) {
-    CDST_ASSERT(contains(id));
-    remove_at(pos_[id]);
-  }
-
-  void clear() {
-    for (const Entry& e : heap_) pos_[e.id] = kNpos;
-    heap_.clear();
-  }
-
- private:
-  struct Entry {
-    Key key;
-    Id id;
-  };
-
-  void ensure_pos(Id id) {
-    if (id >= pos_.size()) pos_.resize(static_cast<std::size_t>(id) + 1, kNpos);
-  }
-
-  void remove_at(std::size_t i) {
-    pos_[heap_[i].id] = kNpos;
-    if (i + 1 != heap_.size()) {
-      heap_[i] = heap_.back();
-      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
-      heap_.pop_back();
-      // The moved element may need to go either way.
-      if (i > 0 && heap_[i].key < heap_[parent(i)].key) {
-        sift_up(i);
-      } else {
-        sift_down(i);
-      }
-    } else {
-      heap_.pop_back();
-    }
-  }
-
-  static std::size_t parent(std::size_t i) { return (i - 1) / 2; }
-
-  void sift_up(std::size_t i) {
-    Entry e = heap_[i];
-    while (i > 0 && e.key < heap_[parent(i)].key) {
-      heap_[i] = heap_[parent(i)];
-      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
-      i = parent(i);
-    }
-    heap_[i] = e;
-    pos_[e.id] = static_cast<std::uint32_t>(i);
-  }
-
-  void sift_down(std::size_t i) {
-    Entry e = heap_[i];
-    const std::size_t n = heap_.size();
-    while (true) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && heap_[child + 1].key < heap_[child].key) ++child;
-      if (!(heap_[child].key < e.key)) break;
-      heap_[i] = heap_[child];
-      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
-      i = child;
-    }
-    heap_[i] = e;
-    pos_[e.id] = static_cast<std::uint32_t>(i);
-  }
-
-  std::vector<Entry> heap_;
-  std::vector<std::uint32_t> pos_;
-};
+using BinaryHeap = DAryHeap<Key, 2>;
 
 }  // namespace cdst

@@ -1,0 +1,124 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+#include "util/assert.h"
+
+namespace cdst {
+namespace {
+
+/// Set while a pool worker (or a caller already inside parallel_for) is
+/// executing batch bodies; nested parallel_for calls then run inline
+/// serially instead of deadlocking on the pool's own workers.
+thread_local bool t_inside_batch = false;
+
+}  // namespace
+
+/// One parallel_for invocation: an atomic work cursor plus the first error.
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> next;
+  std::size_t end;
+  const std::function<void(std::size_t)>* body;
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  CDST_CHECK(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  const bool was_inside = t_inside_batch;
+  t_inside_batch = true;
+  for (std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+       i < batch.end;
+       i = batch.next.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mu);
+      if (!batch.error) batch.error = std::current_exception();
+      // Abandon the remaining indices: later fetch_adds see >= end.
+      batch.next.store(batch.end, std::memory_order_relaxed);
+    }
+  }
+  t_inside_batch = was_inside;
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (batch_ && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  // Serial fast paths: no workers, a single index, or a nested call from
+  // inside a running batch (the workers are all busy with the outer batch).
+  if (workers_.empty() || end - begin == 1 || t_inside_batch) {
+    std::exception_ptr error;
+    const bool was_inside = t_inside_batch;
+    t_inside_batch = true;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+        break;
+      }
+    }
+    t_inside_batch = was_inside;
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  Batch batch;
+  batch.next.store(begin, std::memory_order_relaxed);
+  batch.end = end;
+  batch.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+    workers_active_ = static_cast<int>(workers_.size());
+  }
+  work_cv_.notify_all();
+  drain(batch);
+  {
+    // Wait for every worker to leave the batch before its state dies.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace cdst

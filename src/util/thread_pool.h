@@ -1,0 +1,63 @@
+/// \file thread_pool.h
+/// Persistent worker pool with a parallel-for primitive.
+///
+/// The router's rip-up/re-route loop dispatches thousands of small per-net
+/// oracle batches; spawning fresh std::threads per batch costs more than many
+/// of the batches themselves. This pool spawns its workers once and reuses
+/// them across every batch and iteration. Work is handed out through an
+/// atomic index counter, so the set of (index -> result) pairs — and hence
+/// anything written to index-addressed output slots — is deterministic and
+/// independent of the worker count; only the interleaving varies.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdst {
+
+/// Fixed-size pool of `threads - 1` workers; the calling thread participates
+/// in every parallel_for, so `threads == 1` degenerates to a plain serial
+/// loop with no threads spawned at all. parallel_for calls issued from
+/// inside a worker (nested parallelism) run serially inline on that worker.
+class ThreadPool {
+ public:
+  /// \param threads total concurrency including the calling thread (>= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, including the caller.
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [begin, end), distributing indices across
+  /// the workers and the calling thread. Blocks until all indices are done.
+  /// If any body throws, the remaining indices are abandoned and the first
+  /// exception (in completion order) is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch;
+
+  void worker_main();
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes workers on a new batch
+  std::condition_variable done_cv_;  ///< wakes the caller when workers leave
+  Batch* batch_{nullptr};            ///< current batch; guarded by mu_
+  std::uint64_t generation_{0};      ///< bumped per batch; guarded by mu_
+  int workers_active_{0};            ///< workers still inside the batch
+  bool stop_{false};
+};
+
+}  // namespace cdst

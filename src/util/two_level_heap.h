@@ -3,10 +3,12 @@
 ///
 /// Global routing graphs satisfy m = O(n), so binary heaps beat Fibonacci
 /// heaps in practice. The cost-distance solver runs one Dijkstra *per active
-/// sink*; this structure keeps one binary sub-heap per search plus a
-/// top-level heap over the per-search minima, so extracting the globally
-/// cheapest label is O(log #searches + log #labels) and work can stay inside
-/// a single sub-heap while its minimum remains globally minimal.
+/// sink*; this structure keeps one sub-heap per search plus a top-level heap
+/// over the per-search minima, so extracting the globally cheapest label is
+/// O(log #searches + log #labels) and work can stay inside a single sub-heap
+/// while its minimum remains globally minimal. The per-group heaps default
+/// to the cache-friendly 4-ary heap (see d_ary_heap.h); any addressable heap
+/// with the BinaryHeap API works.
 
 #pragma once
 
@@ -14,14 +16,14 @@
 #include <vector>
 
 #include "util/assert.h"
-#include "util/binary_heap.h"
+#include "util/d_ary_heap.h"
 
 namespace cdst {
 
 /// Min-heap of min-heaps. Sub-heaps ("groups") and entries are identified by
 /// dense uint32 ids chosen by the caller. Each (group, entry) pair may be
 /// present at most once.
-template <typename Key>
+template <typename Key, typename SubHeap = DAryHeap<Key, 4>>
 class TwoLevelHeap {
  public:
   using GroupId = std::uint32_t;
@@ -115,8 +117,8 @@ class TwoLevelHeap {
     }
   }
 
-  std::vector<BinaryHeap<Key>> subs_;
-  BinaryHeap<Key> top_;
+  std::vector<SubHeap> subs_;
+  SubHeap top_;
 };
 
 }  // namespace cdst

@@ -245,6 +245,37 @@ TEST_P(CostDistanceProperty, LazySingleHeapMatchesTwoLevel) {
   EXPECT_EQ(a.tree.nodes.size(), b.tree.nodes.size());
 }
 
+TEST_P(CostDistanceProperty, PooledStateIsInvisibleAcrossQueuesAndSeeds) {
+  // The SearchStatePool (epoch-versioned recycled label arenas) is a pure
+  // performance mechanism: recycled state must be indistinguishable from
+  // freshly allocated state, for every queue organization and seed, down to
+  // the exact tree edges and evaluation. A stale slot surviving an epoch
+  // reset would show up here as a diverging tree.
+  GridInstance gi = make_grid_instance(GetParam() * 271, 9, 8, 3,
+                                       4 + GetParam() % 8, 2.0);
+  for (const QueueKind queue : {QueueKind::kTwoLevel, QueueKind::kSingleLazy}) {
+    SolverOptions pooled = with_fc(gi);
+    pooled.seed = GetParam();
+    pooled.queue = queue;
+    SolverOptions unpooled = pooled;
+    unpooled.pool_search_state = false;
+    SolverOptions sparse = pooled;
+    sparse.dense_state_budget_bytes = 0;  // force the sparse index fallback
+    const auto a = solve_cost_distance(gi.inst, pooled);
+    const auto b = solve_cost_distance(gi.inst, unpooled);
+    const auto c = solve_cost_distance(gi.inst, pooled);  // pool reuse again
+    const auto d = solve_cost_distance(gi.inst, sparse);
+    EXPECT_DOUBLE_EQ(a.eval.objective, b.eval.objective);
+    EXPECT_DOUBLE_EQ(a.eval.weighted_delay, b.eval.weighted_delay);
+    EXPECT_EQ(a.tree.all_edges(), b.tree.all_edges());
+    EXPECT_EQ(a.tree.all_edges(), c.tree.all_edges());
+    EXPECT_EQ(a.tree.all_edges(), d.tree.all_edges());
+    EXPECT_EQ(a.stats.labels_settled, b.stats.labels_settled);
+    EXPECT_EQ(a.stats.labels_relaxed, b.stats.labels_relaxed);
+    EXPECT_EQ(a.stats.labels_settled, d.stats.labels_settled);
+  }
+}
+
 TEST(CostDistance, ManySinksLargeInstance) {
   // Smoke test at a size where all machinery (two-level heap, discounting,
   // A*, placement) is exercised hard.

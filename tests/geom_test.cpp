@@ -69,6 +69,36 @@ TEST(Nearest, SimpleQueries) {
   EXPECT_NE(r.id, 0u);
 }
 
+TEST(Nearest, CornerBucketAtReservedKeyStaysVisible) {
+  // Bucket keys are anchored at the first inserted point; a point +32767
+  // buckets away in both axes packs to the SparseMap's reserved
+  // empty-marker key and must still be found (it lives in a dedicated side
+  // slot, not the map).
+  L1NearestNeighbor nn(2);
+  nn.insert(0, Point2{0, 0});          // anchors the key space
+  nn.insert(1, Point2{65534, 65534});  // relative bucket (32767, 32767)
+  const auto r = nn.nearest(Point2{65534, 65533});
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_EQ(r.distance, 1);
+}
+
+TEST(Nearest, FarFromOriginSmallExtent) {
+  // The packed key range bounds the point set's *extent*, not its absolute
+  // position: a tight cluster far from the origin must work even with a
+  // tiny bucket size.
+  L1NearestNeighbor nn(1);
+  nn.insert(0, Point2{70000000, -70000000});
+  nn.insert(1, Point2{70000004, -70000000});
+  const auto r = nn.nearest(Point2{70000001, -70000000});
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.id, 0u);
+  EXPECT_EQ(r.distance, 1);
+  const auto r1 = nn.nearest(Point2{70000001, -70000000}, /*exclude_id=*/0);
+  EXPECT_TRUE(r1.found);
+  EXPECT_EQ(r1.id, 1u);
+}
+
 TEST(Nearest, EmptyAndSingleExcluded) {
   L1NearestNeighbor nn(4);
   EXPECT_FALSE(nn.nearest(Point2{0, 0}).found);

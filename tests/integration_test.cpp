@@ -153,7 +153,8 @@ TEST(Integration, SingleGcellWindowRoutesThroughViaStack) {
   OracleParams params;
   params.window_margin = 0;
   params.window_margin_frac = 0.0;
-  const OracleInstance oi(grid, costs, net, {1.0, 2.0}, params);
+  const std::vector<double> sink_weights{1.0, 2.0};
+  const OracleInstance oi(grid, costs, net, sink_weights, params);
   EXPECT_EQ(oi.window().graph().num_vertices(), 4u);  // 1 gcell x 4 layers
   const OracleOutcome out = run_method(oi, SteinerMethod::kCD, params);
   EXPECT_DOUBLE_EQ(out.eval.objective, 0.0);

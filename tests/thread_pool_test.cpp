@@ -1,0 +1,134 @@
+// Tests for the persistent worker pool behind the router's batch loop:
+// correctness of the parallel-for work distribution, reuse across many
+// waves, nested submits, exception propagation, and the serial degenerate
+// case.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cdst {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, NonZeroBeginAndEmptyRange) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(100, 200,
+                    [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), (100LL + 199LL) * 100LL / 2LL);
+  pool.parallel_for(5, 5, [&](std::size_t) { sum = -1; });
+  EXPECT_EQ(sum.load(), (100LL + 199LL) * 100LL / 2LL);
+}
+
+TEST(ThreadPool, SingleThreadRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  // No workers: the caller runs all indices in order, so no data race above.
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ReusableAcrossManyWaves) {
+  // The router's usage pattern: thousands of small batches on one pool.
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  long long expected = 0;
+  for (int wave = 0; wave < 500; ++wave) {
+    const std::size_t n = 1 + static_cast<std::size_t>(wave % 7);
+    pool.parallel_for(0, n,
+                      [&](std::size_t i) { sum += static_cast<long long>(i); });
+    expected += static_cast<long long>(n * (n - 1) / 2);
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, NestedSubmitsRunInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 32, kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](std::size_t o) {
+    // A nested parallel_for from inside a worker must not deadlock on the
+    // pool's own (busy) workers; it runs serially inline.
+    pool.parallel_for(0, kInner,
+                      [&](std::size_t i) { ++hits[o * kInner + i]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t i) {
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch and keeps working.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIndices) {
+  // Every body throws, and a lane stops claiming indices once its body has
+  // thrown — so at most one index per lane executes, regardless of how the
+  // scheduler interleaves the lanes.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(0, 100000, [&](std::size_t) {
+      ++executed;
+      throw std::logic_error("stop");
+    });
+    FAIL() << "expected the batch's exception";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_LE(executed.load(), pool.concurrency());
+}
+
+TEST(ThreadPool, ExceptionInSerialModePropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("s");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, StressManyConcurrentSmallBatches) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, 97, [&](std::size_t i) {
+      // Mix nested submits into the stress rounds.
+      if (i % 31 == 0) {
+        pool.parallel_for(0, 3, [&](std::size_t) { sum += 1; });
+      }
+      sum += static_cast<long long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 200LL * (97LL * 96LL / 2LL + 4LL * 3LL));
+}
+
+}  // namespace
+}  // namespace cdst

@@ -9,6 +9,7 @@
 
 #include "util/args.h"
 #include "util/binary_heap.h"
+#include "util/d_ary_heap.h"
 #include "util/disjoint_set.h"
 #include "util/fibonacci_heap.h"
 #include "util/rng.h"
@@ -120,6 +121,78 @@ TEST_P(HeapPropertyTest, FibonacciHeapMatchesBinaryHeap) {
     }
     ASSERT_EQ(bin.size(), fib.size());
   }
+}
+
+TEST(DAryHeap, BasicOrderingAndDecrease) {
+  DAryHeap<double, 4> h;
+  for (std::uint32_t i = 0; i < 20; ++i) h.push(i, 100.0 + i);
+  h.decrease_key(13, 1.0);
+  EXPECT_EQ(h.min_id(), 13u);
+  EXPECT_FALSE(h.push_or_decrease(5, 999.0));
+  EXPECT_TRUE(h.push_or_decrease(5, 2.0));
+  EXPECT_EQ(h.pop_min(), 13u);
+  EXPECT_EQ(h.pop_min(), 5u);
+  h.erase(7);
+  EXPECT_FALSE(h.contains(7));
+  double prev = -1.0;
+  while (!h.empty()) {
+    EXPECT_GT(h.min_key(), prev);
+    prev = h.min_key();
+    h.pop_min();
+  }
+}
+
+TEST_P(HeapPropertyTest, DAryHeapMatchesBinaryHeap) {
+  // Random push/decrease/pop/erase ops: the 4-ary heap must stay in lockstep
+  // with the binary reference (unique keys so min ids never tie).
+  Rng rng(GetParam() ^ 0x4a4a4a);
+  BinaryHeap<double> bin;
+  DAryHeap<double, 4> dary;
+  for (int step = 0; step < 4000; ++step) {
+    const double action = rng.uniform_double();
+    if (action < 0.5 || bin.empty()) {
+      const auto id = static_cast<std::uint32_t>(rng.uniform(400));
+      const double key =
+          rng.uniform_double(0.0, 1000.0) + static_cast<double>(id) * 1e-7;
+      EXPECT_EQ(bin.push_or_decrease(id, key),
+                dary.push_or_decrease(id, key));
+    } else if (action < 0.58) {
+      const std::uint32_t id = bin.min_id();
+      bin.erase(id);
+      dary.erase(id);
+      EXPECT_FALSE(dary.contains(id));
+    } else {
+      ASSERT_DOUBLE_EQ(bin.min_key(), dary.min_key());
+      ASSERT_EQ(bin.pop_min(), dary.pop_min());
+    }
+    ASSERT_EQ(bin.size(), dary.size());
+  }
+}
+
+TEST_P(HeapPropertyTest, DAryQueueMatchesStdPriorityQueue) {
+  // The plain (non-addressable, duplicates allowed) d-ary queue against the
+  // std::priority_queue it replaces in the solver's lazy mode.
+  Rng rng(GetParam() + 4096);
+  DAryQueue<double, 4> dary;
+  std::priority_queue<double, std::vector<double>, std::greater<>> ref;
+  for (int step = 0; step < 6000; ++step) {
+    if (rng.uniform_double() < 0.55 || ref.empty()) {
+      const double key = rng.uniform_double(0.0, 1000.0);
+      dary.push(key);
+      ref.push(key);
+    } else {
+      ASSERT_DOUBLE_EQ(dary.top(), ref.top());
+      dary.pop();
+      ref.pop();
+    }
+    ASSERT_EQ(dary.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_DOUBLE_EQ(dary.top(), ref.top());
+    dary.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(dary.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeapPropertyTest,
