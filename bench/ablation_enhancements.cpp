@@ -7,11 +7,13 @@
 #include <array>
 #include <cstdio>
 
+#include "api/cdst.h"
 #include "bench_common.h"
 #include "io/table.h"
 #include "route/steiner_oracle.h"
 #include "util/args.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace cdst;
@@ -61,12 +63,19 @@ int main(int argc, char** argv) {
   const Netlist netlist = generate_netlist(chip, grid);
   const double dbif = chip_dbif(chip);
 
-  // Warm-up for realistic prices/weights.
+  // Warm-up for realistic prices/weights, on a shared worker pool. The
+  // per-instance config sweep below stays serial so the per-config solve
+  // timings are contention-free.
+  ThreadPool pool(2);
   RouterOptions ropts;
   ropts.method = SteinerMethod::kCD;
-  ropts.iterations = 3;
   ropts.oracle.dbif = dbif;
-  const RouterResult warm = route_chip(grid, netlist, ropts);
+  Router warm_session(grid, netlist, ropts, &pool);
+  if (const Status st = warm_session.run(3); !st.ok()) {
+    std::fprintf(stderr, "warm-up failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  const RouterResult warm = warm_session.result();
   CongestionCosts costs(grid, ropts.congestion);
   for (const auto& route : warm.routes) costs.add_usage(route, +1.0);
 
@@ -74,6 +83,21 @@ int main(int argc, char** argv) {
   std::vector<StatAccumulator> excess(nc);
   std::vector<StatAccumulator> labels(nc);
   std::vector<double> solve_time(nc, 0.0);
+
+  // One solver session per configuration: scratch recycles across the whole
+  // corpus, so the "no state pool" row isolates exactly the per-search
+  // allocation cost, not per-solve setup noise.
+  std::vector<CdSolver> solvers;
+  for (std::size_t c = 0; c < nc; ++c) {
+    SolverOptions o;
+    o.discount_components = kConfigs[c].discount;
+    o.use_astar = kConfigs[c].astar;
+    o.better_steiner_placement = kConfigs[c].placement;
+    o.encourage_root = kConfigs[c].encourage_root;
+    o.queue = kConfigs[c].queue;
+    o.pool_search_state = kConfigs[c].pooled;
+    solvers.push_back(CdSolver(o));
+  }
 
   OracleParams params = ropts.oracle;
   std::size_t flat = 0;
@@ -83,28 +107,27 @@ int main(int argc, char** argv) {
     flat += k;
     if (k < 3) continue;
     costs.add_usage(warm.routes[i], -1.0);
-    const std::vector<double> weights(
-        warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat - k),
-        warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat));
+    const std::span<const double> weights(
+        warm.sink_weights.data() + (flat - k), k);
     params.seed = 7919 + net.id;
     const OracleInstance oi(grid, costs, net, weights, params);
 
     std::array<double, std::size(kConfigs)> objective{};
     for (std::size_t c = 0; c < nc; ++c) {
-      SolverOptions o;
-      o.future_cost = &oi.future_cost();
-      o.seed = params.seed;
-      o.discount_components = kConfigs[c].discount;
-      o.use_astar = kConfigs[c].astar;
-      o.better_steiner_placement = kConfigs[c].placement;
-      o.encourage_root = kConfigs[c].encourage_root;
-      o.queue = kConfigs[c].queue;
-      o.pool_search_state = kConfigs[c].pooled;
+      CdSolver::Job job;
+      job.instance = &oi.instance();
+      job.future_cost = &oi.future_cost();
+      job.seed = params.seed;
       WallTimer st;
-      const SolveResult r = solve_cost_distance(oi.instance(), o);
+      const StatusOr<SolveResult> solved = solvers[c].solve(job);
       solve_time[c] += st.seconds();
-      objective[c] = r.eval.objective;
-      labels[c].add(static_cast<double>(r.stats.labels_settled));
+      if (!solved.ok()) {
+        std::fprintf(stderr, "net %u config %s failed: %s\n", net.id,
+                     kConfigs[c].name, solved.status().to_string().c_str());
+        return 1;
+      }
+      objective[c] = solved->eval.objective;
+      labels[c].add(static_cast<double>(solved->stats.labels_settled));
     }
     for (std::size_t c = 0; c < nc; ++c) {
       if (objective[0] > 0.0) {

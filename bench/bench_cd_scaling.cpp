@@ -11,10 +11,11 @@
 #include <string_view>
 #include <vector>
 
-#include "core/cost_distance.h"
+#include "api/cdst.h"
 #include "grid/future_cost.h"
 #include "grid/routing_grid.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -66,8 +67,9 @@ void BM_CostDistance_SinkCount(benchmark::State& state) {
   const Fixture f = make(42, 48, 5, sinks);
   SolverOptions opts;
   opts.future_cost = f.fc.get();
+  CdSolver solver(opts);  // session: scratch recycled across iterations
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+    benchmark::DoNotOptimize(solver.solve(f.inst));
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(sinks));
 }
@@ -82,8 +84,9 @@ void BM_CostDistance_GraphSize(benchmark::State& state) {
   const Fixture f = make(7, side, 4, 16);
   SolverOptions opts;
   opts.future_cost = f.fc.get();
+  CdSolver solver(opts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+    benchmark::DoNotOptimize(solver.solve(f.inst));
   }
   state.SetComplexityN(
       static_cast<benchmark::IterationCount>(f.inst.graph->num_vertices()));
@@ -99,13 +102,40 @@ void BM_CostDistance_AStarOnOff(benchmark::State& state) {
   SolverOptions opts;
   opts.future_cost = f.fc.get();
   opts.use_astar = state.range(0) != 0;
+  CdSolver solver(opts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_cost_distance(f.inst, opts));
+    benchmark::DoNotOptimize(solver.solve(f.inst));
   }
 }
 BENCHMARK(BM_CostDistance_AStarOnOff)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Deterministic parallel batch solving through the session API: 24 oracle
+// calls (the same instance under distinct seeds, standing in for a router
+// batch) on a shared ThreadPool. Results are bit-identical at every thread
+// count; the time should scale with the workers.
+void BM_CostDistance_BatchSolve(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Fixture f = make(23, 48, 5, 16);
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  ThreadPool pool(threads);
+  CdSolver solver(opts, &pool);
+  std::vector<CdSolver::Job> jobs(24);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    jobs[j].instance = &f.inst;
+    jobs[j].seed = j + 1;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_batch(std::span(jobs)));
+  }
+}
+BENCHMARK(BM_CostDistance_BatchSolve)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -9,17 +9,26 @@
 /// oracle saw, solve it with all four methods, and record each method's
 /// relative objective increase over the best of the four (the paper's
 /// "minimum" baseline).
+///
+/// The per-net loop runs on the shared ThreadPool: instances are
+/// materialized serially in chunks (materialization mutates the shared
+/// congestion state around each net), then each chunk's 4-method solves fan
+/// out in parallel with leased solver scratch, and the accumulators are
+/// reduced in net order — results are identical at any thread count.
 
 #pragma once
 
 #include <array>
 #include <cstdio>
 
+#include "api/cdst.h"
+#include "api/scratch_pool.h"
 #include "bench_common.h"
 #include "io/table.h"
 #include "route/steiner_oracle.h"
 #include "util/args.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cdst::bench {
@@ -34,6 +43,7 @@ inline int run_cost_increase_table(const char* table_name, bool with_dbif,
   args.add_option("chips", "3", "number of paper chips to draw instances from");
   args.add_option("warmup-iterations", "4", "router rounds before sampling");
   args.add_option("max-instances", "100000", "cap on sampled instances");
+  args.add_option("threads", "4", "shared pool workers (results invariant)");
   args.add_option("seed", "1", "random seed");
   args.parse(argc, argv);
 
@@ -42,6 +52,9 @@ inline int run_cost_increase_table(const char* table_name, bool with_dbif,
       static_cast<std::size_t>(std::min<std::int64_t>(8, args.get_int("chips")));
   std::vector<ChipConfig> chips = paper_chip_configs(args.get_double("scale"));
   chips.resize(num_chips);
+
+  ThreadPool pool(std::max(1, static_cast<int>(args.get_int("threads"))));
+  detail::SolverScratchPool scratch_pool;
 
   const auto& buckets = sink_buckets();
   // [bucket][method] accumulators of % increase over the per-instance best.
@@ -58,47 +71,90 @@ inline int run_cost_increase_table(const char* table_name, bool with_dbif,
 
     RouterOptions ropts;
     ropts.method = SteinerMethod::kCD;
-    ropts.iterations = static_cast<int>(args.get_int("warmup-iterations"));
     ropts.oracle.dbif = dbif;
     ropts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    const RouterResult warm = route_chip(grid, netlist, ropts);
+    Router warm_session(grid, netlist, ropts, &pool);
+    const Status warm_status = warm_session.run(
+        static_cast<int>(args.get_int("warmup-iterations")));
+    if (!warm_status.ok()) {
+      std::fprintf(stderr, "%s warm-up failed: %s\n", chip.name.c_str(),
+                   warm_status.to_string().c_str());
+      return 1;
+    }
+    const RouterResult warm = warm_session.result();
 
     // Rebuild the post-warm-up congestion state.
     CongestionCosts costs(grid, ropts.congestion);
     for (const auto& route : warm.routes) costs.add_usage(route, +1.0);
 
-    OracleParams params = ropts.oracle;
+    // Eligible nets (bucketed, under the cap), with their flat sink ranges.
+    struct Candidate {
+      std::size_t net_idx;
+      std::size_t flat_lo;  ///< first flat sink index
+      int bucket;
+    };
+    std::vector<Candidate> cands;
     std::size_t flat = 0;
     for (std::size_t i = 0; i < netlist.nets.size(); ++i) {
-      const Net& net = netlist.nets[i];
-      const std::size_t k = net.sinks.size();
+      const std::size_t k = netlist.nets[i].sinks.size();
       const int bucket = bucket_of(k);
       flat += k;
-      if (bucket < 0 || sampled >= max_instances) continue;
-      ++sampled;
+      if (bucket < 0 || sampled + cands.size() >= max_instances) continue;
+      cands.push_back(Candidate{i, flat - k, bucket});
+    }
 
-      // The instance prices edges without the net's own usage.
-      costs.add_usage(warm.routes[i], -1.0);
-      const std::vector<double> weights(
-          warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat - k),
-          warm.sink_weights.begin() + static_cast<std::ptrdiff_t>(flat));
-      params.seed = ropts.seed * 7919 + net.id;
-      const OracleInstance oi(grid, costs, net, weights, params);
+    // Chunked: materialize serially (congestion state is ripped up and
+    // restored around each net), solve in parallel, reduce in net order.
+    // The chunk bounds how many materialized windows are alive at once —
+    // 2x the worker count keeps everyone fed without holding dozens of
+    // window subgraphs; chunking never affects results (each instance is
+    // priced independently), so tying it to the pool size is safe.
+    const OracleParams base_params = ropts.oracle;
+    const std::size_t chunk =
+        2 * static_cast<std::size_t>(pool.concurrency());
+    for (std::size_t clo = 0; clo < cands.size(); clo += chunk) {
+      const std::size_t chi = std::min(cands.size(), clo + chunk);
+      std::vector<OracleInstance> instances;
+      std::vector<OracleParams> params(chi - clo, base_params);
+      instances.reserve(chi - clo);
+      for (std::size_t c = clo; c < chi; ++c) {
+        const Candidate& cand = cands[c];
+        const Net& net = netlist.nets[cand.net_idx];
+        // The instance prices edges without the net's own usage.
+        costs.add_usage(warm.routes[cand.net_idx], -1.0);
+        const std::span<const double> weights(
+            warm.sink_weights.data() + cand.flat_lo, net.sinks.size());
+        params[c - clo].seed = ropts.seed * 7919 + net.id;
+        instances.push_back(
+            OracleInstance(grid, costs, net, weights, params[c - clo]));
+        costs.add_usage(warm.routes[cand.net_idx], +1.0);
+      }
 
-      std::array<double, 4> objective{};
-      double best = 0.0;
-      for (std::size_t m = 0; m < 4; ++m) {
-        objective[m] = run_method(oi, all_methods()[m], params).eval.objective;
-        best = (m == 0) ? objective[m] : std::min(best, objective[m]);
+      std::vector<std::array<double, 4>> objective(chi - clo);
+      const std::function<void(std::size_t)> solve_one =
+          [&](std::size_t c) {
+            const detail::SolverScratchPool::Lease lease =
+                scratch_pool.lease();
+            for (std::size_t m = 0; m < 4; ++m) {
+              objective[c][m] = run_method(instances[c], all_methods()[m],
+                                           params[c], lease.get())
+                                    .eval.objective;
+            }
+          };
+      pool.parallel_for(0, chi - clo, solve_one);
+
+      for (std::size_t c = clo; c < chi; ++c) {
+        ++sampled;
+        const std::array<double, 4>& obj = objective[c - clo];
+        double best = obj[0];
+        for (std::size_t m = 1; m < 4; ++m) best = std::min(best, obj[m]);
+        for (std::size_t m = 0; m < 4; ++m) {
+          const double pct =
+              best > 0.0 ? 100.0 * (obj[m] / best - 1.0) : 0.0;
+          excess[static_cast<std::size_t>(cands[c].bucket)][m].add(pct);
+          excess_all[0][m].add(pct);
+        }
       }
-      for (std::size_t m = 0; m < 4; ++m) {
-        const double pct = best > 0.0
-                               ? 100.0 * (objective[m] / best - 1.0)
-                               : 0.0;
-        excess[static_cast<std::size_t>(bucket)][m].add(pct);
-        excess_all[0][m].add(pct);
-      }
-      costs.add_usage(warm.routes[i], +1.0);
     }
   }
 

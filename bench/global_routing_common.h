@@ -2,14 +2,20 @@
 /// Shared harness for Tables IV and V: full timing-constrained global
 /// routing on the eight (scaled) evaluation chips, one run per Steiner
 /// oracle, reporting WS / TNS / ACE4 / wirelength / vias / walltime.
+///
+/// All runs share one ThreadPool through the Router sessions; per-net
+/// batches fan out onto it. Results are thread-count invariant, so
+/// --threads only changes walltime.
 
 #pragma once
 
 #include <cstdio>
 
+#include "api/cdst.h"
 #include "bench_common.h"
 #include "io/table.h"
 #include "util/args.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cdst::bench {
@@ -22,6 +28,7 @@ inline int run_global_routing_table(const char* table_name, bool with_dbif,
   args.add_option("scale", "0.001", "chip net-count scale vs Table III");
   args.add_option("chips", "8", "number of paper chips to route");
   args.add_option("iterations", "5", "rip-up & re-route rounds");
+  args.add_option("threads", "4", "shared pool workers (results invariant)");
   args.add_option("seed", "1", "random seed");
   args.parse(argc, argv);
 
@@ -34,6 +41,8 @@ inline int run_global_routing_table(const char* table_name, bool with_dbif,
               "(paper: Table %s; chips scaled by %.4g)\n\n",
               table_name, with_dbif ? "dbif > 0" : "dbif = 0",
               with_dbif ? "V" : "IV", args.get_double("scale"));
+
+  ThreadPool pool(std::max(1, static_cast<int>(args.get_int("threads"))));
 
   TextTable table({"Chip", "Run", "WS [ps]", "TNS [ps]", "ACE4 [%]",
                    "WL [gcells]", "Vias", "Walltime"});
@@ -50,10 +59,17 @@ inline int run_global_routing_table(const char* table_name, bool with_dbif,
     for (std::size_t m = 0; m < 4; ++m) {
       RouterOptions opts;
       opts.method = all_methods()[m];
-      opts.iterations = static_cast<int>(args.get_int("iterations"));
       opts.oracle.dbif = dbif;
       opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-      const RouterResult r = route_chip(grid, netlist, opts);
+      Router session(grid, netlist, opts, &pool);
+      const Status status =
+          session.run(static_cast<int>(args.get_int("iterations")));
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", chip.name.c_str(),
+                     method_name(opts.method), status.to_string().c_str());
+        return 1;
+      }
+      const RouterResult r = session.result();
       table.add_row(
           {chip.name, method_name(opts.method),
            fmt_double(r.timing.worst_slack, 0),

@@ -1,16 +1,19 @@
 // Quickstart: build a small global routing grid, define a net with weighted
 // sinks, and compute a cost-distance Steiner tree (paper Algorithm 1 with
-// all Section III enhancements).
+// all Section III enhancements) through the session API: a persistent
+// CdSolver whose scratch is recycled across solves, returning structured
+// Status errors instead of throwing.
 //
 //   ./examples/quickstart
 
 #include <cstdio>
 
-#include "core/cost_distance.h"
+#include "api/cdst.h"
 #include "grid/cost_model.h"
 #include "grid/future_cost.h"
 #include "grid/routing_grid.h"
 #include "timing/repeater_chain.h"
+#include "util/thread_pool.h"
 
 using namespace cdst;
 
@@ -50,12 +53,23 @@ int main() {
   inst.dbif = dbif;
   inst.eta = 0.25;
 
-  // 4. Solve.
-  const FutureCost fc(grid, /*num_landmarks=*/4);
+  // 4. A solver session. The shared ThreadPool parallelizes the landmark
+  //    preprocessing here and would serve solve_batch the same way; the
+  //    scratch inside the CdSolver is recycled across every solve it runs.
+  ThreadPool pool(2);
+  const FutureCost fc(grid, /*num_landmarks=*/4, &pool);
   SolverOptions opts;
   opts.future_cost = &fc;
   opts.seed = 1;
-  const SolveResult r = solve_cost_distance(inst, opts);
+  CdSolver solver(opts, &pool);
+
+  const StatusOr<SolveResult> solved = solver.solve(inst);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().to_string().c_str());
+    return 1;
+  }
+  const SolveResult& r = *solved;
 
   std::printf("cost-distance Steiner tree over %zu sinks (dbif = %.3f ps)\n",
               inst.sinks.size(), dbif);

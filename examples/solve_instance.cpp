@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/cost_distance.h"
+#include "api/cdst.h"
 #include "embed/enumerate.h"
 #include "grid/routing_grid.h"
 #include "io/instance_io.h"
@@ -65,7 +65,16 @@ int main(int argc, char** argv) {
   SolverOptions opts;  // generic graph: geometry-based enhancements off
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   opts.discount_components = !args.get_bool("no-discount");
-  const SolveResult r = solve_cost_distance(oi.instance, opts);
+  CdSolver solver(opts);
+  const StatusOr<SolveResult> solved = solver.solve(oi.instance);
+  if (!solved.ok()) {
+    // Malformed instance files come back as a structured status (e.g.
+    // INVALID_ARGUMENT for disconnected terminals), not an uncaught throw.
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().to_string().c_str());
+    return 1;
+  }
+  const SolveResult& r = *solved;
 
   std::printf("instance: %zu vertices, %zu edges, %zu sinks, dbif %.3f, eta %.2f\n",
               oi.graph->num_vertices(), oi.graph->num_edges(),

@@ -1,16 +1,19 @@
 // Full timing-constrained global routing on a small synthetic chip,
 // comparing the cost-distance oracle against the Prim-Dijkstra baseline —
-// a miniature of the paper's Table IV/V experiment.
+// a miniature of the paper's Table IV/V experiment — driven through the
+// session API: one Router per method on a shared ThreadPool, with round
+// progress reported through a RunControl callback.
 //
-//   ./examples/timing_driven_routing [--nets N] [--iterations K]
+//   ./examples/timing_driven_routing [--nets N] [--iterations K] [--threads T]
 
 #include <cstdio>
 
+#include "api/cdst.h"
 #include "io/table.h"
 #include "route/netlist_gen.h"
-#include "route/router.h"
 #include "timing/repeater_chain.h"
 #include "util/args.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace cdst;
@@ -20,7 +23,9 @@ int main(int argc, char** argv) {
                  "CD vs PD inside the Lagrangean global router");
   args.add_option("nets", "400", "number of nets");
   args.add_option("iterations", "3", "rip-up & re-route rounds");
+  args.add_option("threads", "2", "worker threads (results are invariant)");
   args.add_flag("dbif", true, "enable bifurcation penalties");
+  args.add_flag("progress", false, "print per-round batch progress");
   args.parse(argc, argv);
 
   ChipConfig chip;
@@ -45,15 +50,34 @@ int main(int argc, char** argv) {
               chip.name.c_str(), netlist.nets.size(), chip.num_layers,
               chip.nx, chip.ny, dbif);
 
+  // One worker pool shared by both router sessions (and any other engine
+  // object); per-net batches fan out onto it deterministically.
+  ThreadPool pool(std::max(1, static_cast<int>(args.get_int("threads"))));
+
+  RunControl control;
+  if (args.get_bool("progress")) {
+    control.on_progress = [](const Progress& p) {
+      std::fprintf(stderr, "  [%s] round %d/%d: %zu/%zu nets\n", p.stage,
+                   p.round + 1, p.total_rounds, p.done, p.total);
+    };
+  }
+
   TextTable table({"Run", "WS [ps]", "TNS [ps]", "ACE4 [%]", "WL [gcells]",
                    "Vias", "Walltime"});
   for (const SteinerMethod m :
        {SteinerMethod::kPD, SteinerMethod::kCD}) {
     RouterOptions opts;
     opts.method = m;
-    opts.iterations = static_cast<int>(args.get_int("iterations"));
     opts.oracle.dbif = dbif;
-    const RouterResult r = route_chip(grid, netlist, opts);
+    Router session(grid, netlist, opts, &pool);
+    const Status status =
+        session.run(static_cast<int>(args.get_int("iterations")), control);
+    if (!status.ok()) {
+      std::fprintf(stderr, "routing failed: %s\n",
+                   status.to_string().c_str());
+      return 1;
+    }
+    const RouterResult r = session.result();
     table.add_row({method_name(m), fmt_double(r.timing.worst_slack, 1),
                    fmt_double(r.timing.total_negative_slack, 0),
                    fmt_double(r.congestion.ace4, 2),

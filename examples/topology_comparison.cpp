@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "api/cdst.h"
 #include "embed/enumerate.h"
 #include "io/table.h"
 #include "route/netlist_gen.h"
@@ -66,8 +67,10 @@ int main(int argc, char** argv) {
     TreeEvaluation eval;
   };
   std::vector<Row> rows;
+  SolverScratch scratch;  // recycled across the per-method oracle calls
   for (const SteinerMethod m : all_methods()) {
-    rows.push_back(Row{method_name(m), run_method(oi, m, params).eval});
+    rows.push_back(Row{method_name(m), run_method(oi, m, params,
+                                                  &scratch).eval});
   }
   if (k <= 5) {
     const ExactResult exact = solve_exact(oi.instance());

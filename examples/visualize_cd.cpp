@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "core/cost_distance.h"
+#include "api/cdst.h"
 #include "embed/embedder.h"
 #include "io/svg.h"
 #include "route/netlist_gen.h"
@@ -79,11 +79,18 @@ int main(int argc, char** argv) {
                 static_cast<long long>(t.topo->total_length()));
   }
 
-  // Embedded cost-distance tree.
-  SolverOptions opts;
-  WindowFutureCost fc(oi.window());
-  opts.future_cost = &fc;
-  const SolveResult r = solve_cost_distance(oi.instance(), opts);
+  // Embedded cost-distance tree, solved through a session object.
+  CdSolver solver;
+  CdSolver::Job job;
+  job.instance = &oi.instance();
+  job.future_cost = &oi.future_cost();
+  const StatusOr<SolveResult> solved = solver.solve(job);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().to_string().c_str());
+    return 1;
+  }
+  const SolveResult& r = *solved;
   SvgCanvas canvas(extent);
   // The tree lives on window vertices; draw through the full-grid ids by
   // re-mapping each node/path (projection only needs positions).

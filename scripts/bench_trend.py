@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Diff two Google Benchmark JSON files and fail on a median regression.
+
+Usage:
+    bench_trend.py BASELINE.json CURRENT.json [--threshold-pct 15]
+
+For every benchmark present in BOTH files, the per-benchmark time is the
+median: the reported "median" aggregate when repetitions were used, else the
+median over the iteration entries. The check fails (exit 1) when the median
+of the per-benchmark current/baseline ratios exceeds 1 + threshold — a
+fleet-wide regression signal that is robust to one noisy benchmark.
+Benchmarks present in only one file (renamed/added rows) are listed and
+skipped. Exit code 0 otherwise.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def median_times(path):
+    """Map of benchmark run_name -> median real_time (per time_unit)."""
+    with open(path) as f:
+        data = json.load(f)
+    aggregates = {}
+    iterations = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("run_name", entry.get("name", ""))
+        if not name:
+            continue
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                aggregates[name] = float(entry["real_time"])
+        else:
+            iterations.setdefault(name, []).append(float(entry["real_time"]))
+    times = {name: statistics.median(vals) for name, vals in iterations.items()}
+    times.update(aggregates)  # an explicit median aggregate wins
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold-pct", type=float, default=15.0)
+    args = parser.parse_args()
+
+    base = median_times(args.baseline)
+    curr = median_times(args.current)
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("bench_trend: no overlapping benchmarks; skipping check")
+        return 0
+    for name in sorted(set(base) ^ set(curr)):
+        side = "baseline only" if name in base else "current only"
+        print(f"bench_trend: skipping {name} ({side})")
+
+    ratios = []
+    print(f"{'benchmark':<44} {'base':>10} {'curr':>10} {'ratio':>7}")
+    for name in shared:
+        ratio = curr[name] / base[name] if base[name] > 0 else 1.0
+        ratios.append(ratio)
+        flag = "  <-- slower" if ratio > 1 + args.threshold_pct / 100 else ""
+        print(f"{name:<44} {base[name]:>10.3f} {curr[name]:>10.3f} "
+              f"{ratio:>7.3f}{flag}")
+
+    med = statistics.median(ratios)
+    print(f"\nmedian ratio over {len(shared)} benchmarks: {med:.3f} "
+          f"(threshold {1 + args.threshold_pct / 100:.2f})")
+    if med > 1 + args.threshold_pct / 100:
+        print(f"bench_trend: FAIL — median regression exceeds "
+              f"{args.threshold_pct:.0f}%")
+        return 1
+    print("bench_trend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

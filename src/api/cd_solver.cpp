@@ -1,0 +1,148 @@
+#include "api/cd_solver.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "api/scratch_pool.h"
+#include "util/thread_pool.h"
+
+namespace cdst {
+namespace {
+
+/// Runs one solve against leased scratch and maps every failure mode onto
+/// the structured status contract. `statuses[i]` stays OK on success.
+Status solve_into(const CostDistanceInstance& instance,
+                  const SolverOptions& options, SolverScratch* scratch,
+                  const SolveControls* controls, SolveResult* out) {
+  try {
+    *out = solve_cost_distance(instance, options, scratch, controls);
+    return Status::Ok();
+  } catch (const SolveCancelled&) {
+    return Status::Cancelled("cost-distance solve cancelled");
+  } catch (const ContractViolation& e) {
+    return Status::InvalidArgument(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+}  // namespace
+
+CdSolver::CdSolver(SolverOptions options, ThreadPool* pool)
+    : options_(std::move(options)),
+      pool_(pool),
+      scratch_(std::make_unique<detail::SolverScratchPool>()) {}
+
+CdSolver::~CdSolver() = default;
+CdSolver::CdSolver(CdSolver&&) noexcept = default;
+CdSolver& CdSolver::operator=(CdSolver&&) noexcept = default;
+
+StatusOr<SolveResult> CdSolver::solve(const CostDistanceInstance& instance,
+                                      const RunControl& control) {
+  Job job;
+  job.instance = &instance;
+  return solve(job, control);
+}
+
+StatusOr<SolveResult> CdSolver::solve(const Job& job,
+                                      const RunControl& control) {
+  if (job.instance == nullptr) {
+    return Status::InvalidArgument("solve job has no instance");
+  }
+  SolverOptions opts = options_;
+  if (job.future_cost != nullptr) opts.future_cost = job.future_cost;
+  if (job.seed.has_value()) opts.seed = *job.seed;
+
+  SolveControls controls = detail::make_solve_controls(control);
+  if (control.on_progress) {
+    controls.on_merge = [&control](std::size_t done, std::size_t total) {
+      Progress p;
+      p.stage = "solve";
+      p.done = done;
+      p.total = total;
+      control.on_progress(p);
+    };
+  }
+
+  const detail::SolverScratchPool::Lease lease = scratch_->lease();
+  SolveResult result;
+  Status status =
+      solve_into(*job.instance, opts, lease.get(), &controls, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
+    std::span<const Job> jobs, const RunControl& control) {
+  std::vector<SolveResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].instance == nullptr) {
+      return Status::InvalidArgument("batch job " + std::to_string(i) +
+                                     " has no instance");
+    }
+  }
+
+  const std::atomic<bool>* cancel_flag =
+      control.cancel != nullptr ? &control.cancel->flag() : nullptr;
+  std::vector<Status> statuses(jobs.size());
+  std::size_t completed = 0;  // guarded by progress_mu
+  std::mutex progress_mu;
+
+  const std::function<void(std::size_t)> body = [&](std::size_t i) {
+    if (cancel_flag != nullptr &&
+        cancel_flag->load(std::memory_order_relaxed)) {
+      statuses[i] = Status::Cancelled("batch cancelled before this instance");
+      return;
+    }
+    SolverOptions opts = options_;
+    if (jobs[i].future_cost != nullptr) opts.future_cost = jobs[i].future_cost;
+    if (jobs[i].seed.has_value()) opts.seed = *jobs[i].seed;
+    SolveControls controls = detail::make_solve_controls(control);
+
+    const detail::SolverScratchPool::Lease lease = scratch_->lease();
+    statuses[i] =
+        solve_into(*jobs[i].instance, opts, lease.get(), &controls,
+                   &results[i]);
+    if (control.on_progress) {
+      // Serialized so the callback need not be thread-safe, and the count
+      // is incremented under the same lock so `done` is strictly
+      // monotonic across callbacks. It is a completion count, not an index
+      // (completion order varies; the final results never do).
+      std::lock_guard<std::mutex> lock(progress_mu);
+      Progress p;
+      p.stage = "solve_batch";
+      p.done = ++completed;
+      p.total = jobs.size();
+      control.on_progress(p);
+    }
+  };
+
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, jobs.size(), body);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) body(i);
+  }
+
+  if (cancel_flag != nullptr && cancel_flag->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("solve_batch cancelled");
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+  }
+  return results;
+}
+
+StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
+    std::span<const CostDistanceInstance> instances,
+    const RunControl& control) {
+  std::vector<Job> jobs(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    jobs[i].instance = &instances[i];
+  }
+  return solve_batch(std::span<const Job>(jobs), control);
+}
+
+}  // namespace cdst

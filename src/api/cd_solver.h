@@ -1,0 +1,87 @@
+/// \file api/cd_solver.h
+/// Session object around the cost-distance solver (paper Algorithm 1).
+///
+/// The solver is the Lagrangean subproblem oracle of the resource-sharing
+/// router (paper Section IV): production routing calls it millions of times
+/// per chip. A CdSolver amortizes that load: it owns SolverScratch lanes
+/// (search-state pool, ownership maps, path scratch) recycled across solves,
+/// so the steady state performs no per-solve allocations, and solves batches
+/// deterministically in parallel on a caller-shared ThreadPool.
+///
+/// Error handling is structured: no exception crosses this boundary. Bad
+/// instances come back as kInvalidArgument, honored cancellation tokens as
+/// kCancelled, anything unexpected as kInternal.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "api/run_control.h"
+#include "api/status.h"
+#include "core/cost_distance.h"
+
+namespace cdst {
+
+class ThreadPool;
+
+namespace detail {
+class SolverScratchPool;
+}  // namespace detail
+
+class CdSolver {
+ public:
+  /// \param options solver configuration shared by all solves (overridable
+  ///        per job in batch mode). Copied; change later via set_options().
+  /// \param pool borrowed worker pool for solve_batch; nullptr batches run
+  ///        serially on the calling thread. Results are identical either
+  ///        way, at any thread count.
+  explicit CdSolver(SolverOptions options = {}, ThreadPool* pool = nullptr);
+  ~CdSolver();
+  CdSolver(CdSolver&&) noexcept;
+  CdSolver& operator=(CdSolver&&) noexcept;
+
+  const SolverOptions& options() const { return options_; }
+  void set_options(const SolverOptions& options) { options_ = options; }
+
+  /// One instance of a batch: the instance plus optional per-job overrides
+  /// of the session options (the windowed router oracles need a per-net
+  /// future-cost oracle and seed).
+  struct Job {
+    const CostDistanceInstance* instance{nullptr};
+    const FutureCostOracle* future_cost{nullptr};  ///< null: session default
+    std::optional<std::uint64_t> seed;             ///< nullopt: session seed
+  };
+
+  /// Solves one instance on the calling thread, recycling session scratch.
+  /// Deterministic given the options seed; bit-identical to the legacy
+  /// one-shot entry point.
+  StatusOr<SolveResult> solve(const CostDistanceInstance& instance,
+                              const RunControl& control = {});
+
+  /// Same, with per-call overrides (see Job).
+  StatusOr<SolveResult> solve(const Job& job, const RunControl& control = {});
+
+  /// Solves all jobs, in parallel when the session has a ThreadPool. Results
+  /// are index-addressed and each solve is single-threaded-deterministic, so
+  /// the returned vector is bit-identical to looping solve() yourself — at
+  /// any thread count. On failure the lowest-indexed non-OK job's status is
+  /// returned (cancellation takes precedence); no partial vector escapes.
+  StatusOr<std::vector<SolveResult>> solve_batch(
+      std::span<const Job> jobs, const RunControl& control = {});
+
+  /// Convenience overload: all instances under the session options.
+  StatusOr<std::vector<SolveResult>> solve_batch(
+      std::span<const CostDistanceInstance> instances,
+      const RunControl& control = {});
+
+ private:
+  SolverOptions options_;
+  ThreadPool* pool_;
+  std::unique_ptr<detail::SolverScratchPool> scratch_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,22 @@
+/// \file api/cdst.h
+/// Umbrella header for the cdst session API — the stable public surface.
+///
+/// Layering (see ARCHITECTURE.md):
+///
+///   api/     CdSolver, Router, Status/StatusOr, RunControl   <- this layer
+///   route/   per-net oracles, netlists, metrics
+///   core/    Algorithm 1 solver, instances, objectives
+///   grid/ graph/ geom/ topology/ embed/ timing/ io/ util/    <- substrate
+///
+/// The api layer owns session state (recycled solver scratch, thread pools,
+/// Lagrangean warm-start state), returns structured Status errors instead of
+/// letting exceptions escape, and honors RunControl progress/cancellation.
+/// The legacy one-shot free functions (solve_cost_distance, route_net,
+/// route_chip) remain available as thin deprecated wrappers.
+
+#pragma once
+
+#include "api/cd_solver.h"
+#include "api/router.h"
+#include "api/run_control.h"
+#include "api/status.h"

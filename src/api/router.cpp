@@ -1,0 +1,298 @@
+#include "api/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "api/scratch_pool.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace cdst {
+
+struct Router::Impl {
+  Impl(const RoutingGrid& grid_in, const Netlist& netlist_in,
+       const RouterOptions& options_in, ThreadPool* shared_pool)
+      : grid(grid_in),
+        netlist(netlist_in),
+        options(options_in),
+        costs(grid_in, options_in.congestion),
+        pool(shared_pool) {
+    if (pool == nullptr) {
+      owned_pool =
+          std::make_unique<ThreadPool>(std::max(1, options.threads));
+      pool = owned_pool.get();
+    }
+
+    const std::size_t num_nets = netlist.nets.size();
+    sink_offset.assign(num_nets + 1, 0);
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      sink_offset[i + 1] = sink_offset[i] + netlist.nets[i].sinks.size();
+    }
+    const std::size_t num_sinks = sink_offset[num_nets];
+
+    routes.assign(num_nets, {});
+    sink_delays.assign(num_sinks, 0.0);
+    sink_weights.assign(num_sinks, options.weight_floor);
+
+    // Seed the Lagrange multipliers from RAT criticality: a sink whose
+    // budget is close to its ideal (fastest-possible) delay starts with a
+    // high delay weight, so the very first routing round already trades
+    // congestion against timing sensibly instead of waiting for multiplier
+    // ramp-up.
+    rats.assign(num_sinks, 0.0);
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      const Net& net = netlist.nets[i];
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        const std::size_t flat = sink_offset[i] + s;
+        rats[flat] = net.sinks[s].rat;
+        const double ideal =
+            grid.min_unit_delay() *
+                static_cast<double>(
+                    l1_distance(net.source, net.sinks[s].pos)) +
+            2.0 * grid.min_via_delay();
+        if (rats[flat] > 0.0 && ideal > 0.0) {
+          const double criticality = ideal / rats[flat];  // <= 1 if feasible
+          sink_weights[flat] = std::clamp(
+              options.weight_init_scale * criticality * criticality,
+              options.weight_floor, options.weight_ceiling);
+        }
+      }
+    }
+  }
+
+  Status run(int rounds, const RunControl& control) {
+    if (rounds < 0) return Status::InvalidArgument("rounds must be >= 0");
+    if (rounds == 0) return Status::Ok();
+    WallTimer timer;
+    // Session walltime covers every run() path, including early returns.
+    struct TimeAcc {
+      WallTimer& timer;
+      double& acc;
+      ~TimeAcc() { acc += timer.seconds(); }
+    } time_acc{timer, walltime_s};
+
+    try {
+      const int target = rounds_done + rounds;
+      while (rounds_done < target) {
+        if (control.cancel != nullptr && control.cancel->cancelled()) {
+          return Status::Cancelled("router run cancelled");
+        }
+        // Lagrangean step at the round boundary: slacks of the committed
+        // routes drive the delay-weight multipliers of this round. Guarded
+        // per absolute round so a cancel/resume cycle never double-steps
+        // the multipliers. The decreasing subgradient step stabilizes them.
+        if (rounds_done > 0 && weights_round != rounds_done) {
+          const std::vector<double> slacks =
+              compute_slacks(sink_delays, rats);
+          const double step =
+              1.0 / std::sqrt(static_cast<double>(rounds_done));
+          update_delay_weights(slacks, options.weight_scale,
+                               options.weight_floor, options.weight_ceiling,
+                               sink_weights, step);
+          weights_round = rounds_done;
+        }
+        const Status st = route_round(rounds_done, target, control);
+        if (!st.ok()) return st;
+        ++rounds_done;
+        if (options.verbose) {
+          const TimingSummary ts =
+              summarize_slacks(compute_slacks(sink_delays, rats));
+          CDST_LOG(kInfo) << netlist.name << " "
+                          << method_name(options.method) << " iter "
+                          << (rounds_done - 1) << ": WS " << ts.worst_slack
+                          << " TNS " << ts.total_negative_slack << " ACE4 "
+                          << compute_ace(costs).ace4;
+        }
+      }
+      return Status::Ok();
+    } catch (const ContractViolation& e) {
+      return Status::InvalidArgument(e.what());
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    }
+  }
+
+  Status route_round(int round, int target_rounds,
+                     const RunControl& control) {
+    const std::size_t num_nets = netlist.nets.size();
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, options.batch_size));
+    const SolveControls controls = detail::make_solve_controls(control);
+
+    for (std::size_t lo = 0; lo < num_nets; lo += batch) {
+      const std::size_t hi = std::min(num_nets, lo + batch);
+      if (control.cancel != nullptr && control.cancel->cancelled()) {
+        return Status::Cancelled("router run cancelled at a batch boundary");
+      }
+      // Rip up the whole batch so its nets price edges without their own
+      // (or each other's previous) usage, then route against the frozen
+      // snapshot — in parallel when the pool has workers.
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!routes[i].empty()) costs.add_usage(routes[i], -1.0);
+      }
+      std::vector<OracleOutcome> outcomes(hi - lo);
+      const std::function<void(std::size_t)> route_one =
+          [&](std::size_t i) {
+            const Net& net = netlist.nets[i];
+            if (net.sinks.empty()) return;
+            if (controls.cancel != nullptr &&
+                controls.cancel->load(std::memory_order_relaxed)) {
+              throw SolveCancelled();
+            }
+            // The weights view borrows from sink_weights, which only
+            // changes between rounds — never while a batch is in flight.
+            const std::span<const double> weights(
+                sink_weights.data() + sink_offset[i],
+                sink_offset[i + 1] - sink_offset[i]);
+            OracleParams p = options.oracle;
+            p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
+                     static_cast<std::uint64_t>(round);
+            const detail::SolverScratchPool::Lease lease = scratch.lease();
+            const OracleInstance oi(grid, costs, net, weights, p);
+            outcomes[i - lo] =
+                run_method(oi, options.method, p, lease.get(), &controls);
+          };
+      try {
+        pool->parallel_for(lo, hi, route_one);
+      } catch (...) {
+        // Restore the batch's pre-rip-up routes so the session stays a
+        // coherent snapshot, whatever unwound the batch.
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!routes[i].empty()) costs.add_usage(routes[i], +1.0);
+        }
+        try {
+          throw;
+        } catch (const SolveCancelled&) {
+          return Status::Cancelled(
+              "router run cancelled mid-batch; batch rolled back");
+        }
+        // Anything else propagates to run()'s status mapping.
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Net& net = netlist.nets[i];
+        if (net.sinks.empty()) continue;
+        OracleOutcome& out = outcomes[i - lo];
+        costs.add_usage(out.grid_edges, +1.0);
+        routes[i] = std::move(out.grid_edges);
+        for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+          sink_delays[sink_offset[i] + s] = out.eval.sink_delays[s];
+        }
+      }
+      if (control.on_progress) {
+        Progress p;
+        p.stage = "route";
+        p.done = hi;
+        p.total = num_nets;
+        p.round = round;
+        p.total_rounds = target_rounds;
+        control.on_progress(p);
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Metrics are recomputed from committed state; `take` additionally moves
+  /// the bulky per-net vectors out (ending the session's routing state)
+  /// instead of copying them.
+  RouterResult result(bool take) {
+    RouterResult r;
+    r.timing = summarize_slacks(compute_slacks(sink_delays, rats));
+    r.congestion = compute_ace(costs);
+    r.wires = compute_wire_stats(grid, routes);
+    r.walltime_s = walltime_s;
+    r.nets_routed = netlist.nets.size();
+    if (take) {
+      r.routes = std::move(routes);
+      r.sink_delays = std::move(sink_delays);
+      r.sink_weights = std::move(sink_weights);
+    } else {
+      r.routes = routes;
+      r.sink_delays = sink_delays;
+      r.sink_weights = sink_weights;
+    }
+    return r;
+  }
+
+  const RoutingGrid& grid;
+  const Netlist& netlist;
+  RouterOptions options;
+  CongestionCosts costs;
+  ThreadPool* pool{nullptr};
+  std::unique_ptr<ThreadPool> owned_pool;
+  detail::SolverScratchPool scratch;
+
+  std::vector<std::size_t> sink_offset;
+  std::vector<double> rats;
+  std::vector<double> sink_weights;
+  std::vector<double> sink_delays;
+  std::vector<std::vector<EdgeId>> routes;
+  int rounds_done{0};
+  int weights_round{0};  ///< last absolute round the multipliers stepped for
+  double walltime_s{0.0};
+};
+
+Router::Router(const RoutingGrid& grid, const Netlist& netlist,
+               const RouterOptions& options, ThreadPool* pool)
+    : impl_(std::make_unique<Impl>(grid, netlist, options, pool)) {}
+
+Router::~Router() = default;
+Router::Router(Router&&) noexcept = default;
+Router& Router::operator=(Router&&) noexcept = default;
+
+Status Router::run(int rounds, const RunControl& control) {
+  return impl_->run(rounds, control);
+}
+
+RouterResult Router::result() const { return impl_->result(/*take=*/false); }
+
+RouterResult Router::take_result() && { return impl_->result(/*take=*/true); }
+
+int Router::rounds_completed() const { return impl_->rounds_done; }
+
+const RouterOptions& Router::options() const { return impl_->options; }
+
+Status Router::set_options(const RouterOptions& options) {
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  Impl& impl = *impl_;
+  const int old_threads = impl.options.threads;
+  impl.options = options;
+  // Re-price the committed usage under the (possibly changed) congestion
+  // parameters; usage itself — and hence the warm state — is preserved.
+  impl.costs = CongestionCosts(impl.grid, options.congestion);
+  for (const auto& route : impl.routes) {
+    if (!route.empty()) impl.costs.add_usage(route, +1.0);
+  }
+  if (impl.owned_pool != nullptr && options.threads != old_threads) {
+    impl.owned_pool =
+        std::make_unique<ThreadPool>(std::max(1, options.threads));
+    impl.pool = impl.owned_pool.get();
+  }
+  return Status::Ok();
+}
+
+const std::vector<double>& Router::sink_weights() const {
+  return impl_->sink_weights;
+}
+
+const std::vector<double>& Router::sink_delays() const {
+  return impl_->sink_delays;
+}
+
+// Legacy one-shot wrapper (declared deprecated in route/router.h).
+RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
+                        const RouterOptions& options) {
+  CDST_CHECK(options.iterations >= 1);
+  Router session(grid, netlist, options);
+  const Status status = session.run(options.iterations);
+  if (!status.ok()) throw ContractViolation(status.to_string());
+  // Move the routes out — matches the zero-copy cost of the pre-session
+  // implementation, which built its result vectors in place.
+  return std::move(session).take_result();
+}
+
+}  // namespace cdst

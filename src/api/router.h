@@ -1,0 +1,85 @@
+/// \file api/router.h
+/// Session object around the timing-constrained global router.
+///
+/// The stateful successor of route_chip(): constructed once per grid +
+/// netlist, it retains everything the Lagrangean iteration accumulates —
+/// congestion prices, routed trees, per-sink delay weights (the Lagrange
+/// multipliers) — so run() is resumable: run(2) followed by run(2) is
+/// bit-identical to run(4), and after an option change (oracle knobs,
+/// Steiner method, weight schedule) the next run() re-routes warm from the
+/// converged prices instead of from scratch.
+///
+/// Cancellation is honored at batch granularity: a cancelled run() returns
+/// kCancelled with every committed batch intact (the in-flight batch is
+/// rolled back to its pre-rip-up routes), so result() is always a coherent
+/// snapshot. No exception crosses this boundary.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "api/run_control.h"
+#include "api/status.h"
+#include "route/router.h"
+
+namespace cdst {
+
+class ThreadPool;
+
+class Router {
+ public:
+  /// Borrows grid and netlist for the session's lifetime. `pool` optionally
+  /// shares a caller-owned ThreadPool across engine objects (the ROADMAP's
+  /// shared fan-out pool); when null the session owns a pool of
+  /// options.threads workers. Results never depend on the thread count.
+  /// options.iterations is ignored by the session API (run() takes the round
+  /// count); it remains meaningful to the legacy route_chip wrapper.
+  Router(const RoutingGrid& grid, const Netlist& netlist,
+         const RouterOptions& options, ThreadPool* pool = nullptr);
+  ~Router();
+  Router(Router&&) noexcept;
+  Router& operator=(Router&&) noexcept;
+
+  /// Executes `rounds` additional Lagrangean rip-up & re-route rounds on top
+  /// of the current state. Deterministic: seeds and multiplier steps are
+  /// indexed by the absolute round number, so any split of N rounds across
+  /// run() calls produces bit-identical routes. rounds == 0 is a no-op.
+  Status run(int rounds, const RunControl& control = {});
+
+  /// Coherent snapshot of the current routing (timing/congestion/wire
+  /// metrics recomputed from committed state). Valid after any run() —
+  /// including one that returned kCancelled.
+  RouterResult result() const;
+
+  /// Like result(), but moves the per-net routes / delays / weights out
+  /// instead of copying them. Consumes the session's routing state — only
+  /// callable on an expiring session (`std::move(session).take_result()`),
+  /// which must not be run() afterwards. This is the zero-copy final-answer
+  /// path (the legacy route_chip wrapper uses it).
+  RouterResult take_result() &&;
+
+  /// Fully completed Lagrangean rounds (a cancelled round does not count;
+  /// the next run() redoes it from the last round boundary).
+  int rounds_completed() const;
+
+  const RouterOptions& options() const;
+
+  /// Replaces the session options for subsequent rounds while KEEPING the
+  /// accumulated prices, routes and multipliers — the warm-start path for
+  /// re-routing after an option change. Grid and netlist stay fixed. When
+  /// the session owns its thread pool and `options.threads` changed, the
+  /// pool is rebuilt.
+  Status set_options(const RouterOptions& options);
+
+  /// Live per-sink Lagrange multipliers, flattened in netlist order.
+  const std::vector<double>& sink_weights() const;
+  /// Per-sink delays of the committed routes, flattened in netlist order.
+  const std::vector<double>& sink_delays() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,61 @@
+/// \file api/run_control.h
+/// Cooperative progress reporting and cancellation for long-running engine
+/// calls (CdSolver::solve / solve_batch, Router::run).
+///
+/// The controller thread owns a CancelToken and hands a RunControl to the
+/// engine call; the engine polls the token at bounded intervals and returns
+/// a clean kCancelled Status — committed state (a Router's finished batches,
+/// a batch solve's completed instances) is never corrupted by cancellation.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cdst {
+
+/// Thread-safe cancellation flag. The controller calls request_cancel()
+/// (from any thread, including a progress callback); the engine observes it
+/// within one poll interval. Reusable across calls via reset().
+class CancelToken {
+ public:
+  void request_cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+  /// The raw flag the core layers poll (they do not know about tokens).
+  const std::atomic<bool>& flag() const { return flag_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// One progress observation. Which fields are meaningful depends on the
+/// stage: "solve" counts merges of one solve, "solve_batch" counts finished
+/// instances, "route" counts nets within the current Lagrangean round.
+struct Progress {
+  const char* stage{""};
+  std::size_t done{0};
+  std::size_t total{0};
+  int round{0};         ///< current Lagrangean round, absolute session index
+  /// Absolute session round the current run() call is heading for (same
+  /// indexing as `round`): on a resumed session, run(2) after run(2)
+  /// reports round 2..3 of total_rounds 4.
+  int total_rounds{0};
+};
+
+/// Per-call execution controls. Default-constructed RunControl means "run to
+/// completion, report nothing" — exactly the legacy behavior.
+struct RunControl {
+  const CancelToken* cancel{nullptr};
+  /// Invoked on the thread that made the observation; solve_batch serializes
+  /// invocations, so the callback itself need not be thread-safe.
+  std::function<void(const Progress&)> on_progress;
+  /// Queue pops between cancellation checks inside one cost-distance solve
+  /// (responsiveness/overhead trade-off; 0 means the default).
+  std::uint32_t cancel_poll_interval{4096};
+};
+
+}  // namespace cdst

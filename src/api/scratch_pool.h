@@ -1,0 +1,84 @@
+/// \file api/scratch_pool.h
+/// Internal session-layer helpers shared by CdSolver and Router: the leased
+/// SolverScratch free list and the RunControl -> SolveControls mapping.
+/// The in-tree bench harnesses (cost_increase_common.h) lease scratch from
+/// here too — a deliberate repo-internal dependency. Everything in
+/// cdst::detail is outside the supported api/cdst.h surface and may change
+/// shape between releases.
+///
+/// Parallel batch work (CdSolver::solve_batch, Router's per-net oracle
+/// calls) hands out work by index, not by worker, so scratch cannot be
+/// per-thread; instead each task leases a scratch for its duration. The pool
+/// grows to the concurrency high-water mark and recycles from there on.
+/// Scratch contents never influence results (see SolverScratch), so the
+/// lease order — which does vary with thread count — is immaterial.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/run_control.h"
+#include "core/cost_distance.h"
+
+namespace cdst::detail {
+
+/// The one mapping from a caller's RunControl onto the core solver's
+/// cooperative controls (cancel flag + poll interval; progress wiring stays
+/// call-site specific). Both session objects use this, so their cancellation
+/// semantics cannot drift apart.
+inline SolveControls make_solve_controls(const RunControl& control) {
+  SolveControls controls;
+  if (control.cancel != nullptr) controls.cancel = &control.cancel->flag();
+  if (control.cancel_poll_interval > 0) {
+    controls.cancel_poll_interval = control.cancel_poll_interval;
+  }
+  return controls;
+}
+
+class SolverScratchPool {
+ public:
+  /// RAII lease; returns the scratch on destruction (exception-safe).
+  class Lease {
+   public:
+    Lease(SolverScratchPool& pool, SolverScratch* scratch)
+        : pool_(&pool), scratch_(scratch) {}
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->release(scratch_);
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    SolverScratch* get() const { return scratch_; }
+
+   private:
+    SolverScratchPool* pool_;
+    SolverScratch* scratch_;
+  };
+
+  Lease lease() { return Lease(*this, acquire()); }
+
+ private:
+  SolverScratch* acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      SolverScratch* s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    owned_.push_back(std::make_unique<SolverScratch>());
+    return owned_.back().get();
+  }
+
+  void release(SolverScratch* scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(scratch);
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<SolverScratch>> owned_;
+  std::vector<SolverScratch*> free_;
+};
+
+}  // namespace cdst::detail

@@ -1,0 +1,129 @@
+/// \file api/status.h
+/// Structured error propagation for the session API.
+///
+/// The engine objects of api/cdst.h never let exceptions escape: every
+/// fallible operation returns a Status (or a StatusOr<T> carrying the value
+/// on success). Codes follow the familiar canonical set so callers can
+/// branch on machine-readable categories while messages stay human-oriented.
+/// Inside the library, CDST_CHECK contract violations are caught at the api
+/// boundary and converted into kInvalidArgument / kInternal statuses.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace cdst {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kCancelled,         ///< a RunControl cancellation token was honored
+  kInvalidArgument,   ///< malformed instance / options (precondition failed)
+  kFailedPrecondition,///< session not in a state where the call is legal
+  kInternal,          ///< unexpected failure inside the engine
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CODE: message" (or "OK").
+  std::string to_string() const {
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are advisory, not identity
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), message_(msg) {}
+
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+/// Accessing the value of an errored StatusOr is a contract violation
+/// (CDST_CHECK) — test ok() first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : value_(std::move(value)) {}
+  /// Implicit from a non-OK status: failure. Passing an OK status without a
+  /// value is a misuse and is reported as an internal error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from an OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CDST_CHECK_MSG(ok(), status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    CDST_CHECK_MSG(ok(), status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    CDST_CHECK_MSG(ok(), status_.to_string());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  ///< OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace cdst

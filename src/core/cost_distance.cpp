@@ -113,18 +113,34 @@ struct SearchState {
 /// Pool of SearchStates. At most #active-components states are live at once,
 /// so the pool's high-water mark is t+1 states even though ~2t searches are
 /// seeded over a solve. Unpooled mode (the ablation) allocates and frees a
-/// fresh state per search, reproducing the pre-pool behavior.
+/// fresh state per search, reproducing the pre-pool behavior. The pool
+/// itself lives in a SolverScratch, so the arenas survive across solves.
 class SearchStatePool {
  public:
-  /// Dense per-state index arrays cost (t+1) * n slot entries across the
-  /// pool's high-water mark; above the caller's budget the states fall back
-  /// to sparse indexes (O(touched) memory, no future-bound memo).
-  SearchStatePool(std::size_t num_vertices, std::size_t num_sinks, bool pooled,
-                  std::size_t dense_budget_bytes)
-      : n_(num_vertices),
-        pooled_(pooled),
-        dense_((num_sinks + 1) * num_vertices <=
-               dense_budget_bytes / SearchState::slot_bytes()) {}
+  SearchStatePool() = default;
+
+  /// Prepares the pool for one solve. Dense per-state index arrays cost
+  /// (t+1) * n slot entries across the pool's high-water mark; above the
+  /// caller's budget the states fall back to sparse indexes (O(touched)
+  /// memory, no future-bound memo). Reclaims every state allocated by
+  /// earlier solves — including states left un-released when a cancellation
+  /// unwound a solve mid-flight.
+  void configure(std::size_t num_vertices, std::size_t num_sinks, bool pooled,
+                 std::size_t dense_budget_bytes) {
+    n_ = num_vertices;
+    pooled_ = pooled;
+    dense_ = (num_sinks + 1) * num_vertices <=
+             dense_budget_bytes / SearchState::slot_bytes();
+    free_.clear();
+    free_.reserve(all_.size());
+    for (const auto& st : all_) free_.push_back(st.get());
+  }
+
+  /// Drops every retained state (h-generation wrap fence; see solve setup).
+  void drop_all() {
+    all_.clear();
+    free_.clear();
+  }
 
   SearchState* acquire() {
     if (pooled_ && !free_.empty()) {
@@ -152,9 +168,9 @@ class SearchStatePool {
   }
 
  private:
-  std::size_t n_;
-  bool pooled_;
-  bool dense_;
+  std::size_t n_{0};
+  bool pooled_{true};
+  bool dense_{true};
   std::vector<std::unique_ptr<SearchState>> all_;
   std::vector<SearchState*> free_;
 };
@@ -232,9 +248,36 @@ class SolverQueue {
   DAryQueue<LazyEntry, 4> lazy_;
 };
 
+}  // namespace
+
+/// The recycled allocations behind a SolverScratch. Defined here (and only
+/// here) because the members are internal solver machinery; the header hands
+/// out an opaque handle. One Impl serves one solve at a time.
+struct SolverScratch::Impl {
+  SearchStatePool state_pool;
+  std::vector<Component> comps;
+  std::vector<std::uint32_t> dsu_parent;
+  std::vector<Search> searches;
+  SparseMap<std::uint32_t> vertex_owner;
+  SparseMap<std::uint32_t> edge_owner;
+  std::vector<VertexId> path_verts;
+  std::vector<EdgeId> path_edges;
+  /// Future-bound memo generation, monotonic across the scratch's lifetime
+  /// so recycled SearchStates can never leak h-values between solves.
+  std::uint32_t h_gen{0};
+};
+
+SolverScratch::SolverScratch() : impl_(std::make_unique<Impl>()) {}
+SolverScratch::~SolverScratch() = default;
+SolverScratch::SolverScratch(SolverScratch&&) noexcept = default;
+SolverScratch& SolverScratch::operator=(SolverScratch&&) noexcept = default;
+
+namespace {
+
 class Solver {
  public:
-  Solver(const CostDistanceInstance& inst, const SolverOptions& opts)
+  Solver(const CostDistanceInstance& inst, const SolverOptions& opts,
+         SolverScratch::Impl& scratch, const SolveControls* controls)
       : inst_(inst),
         opts_(opts),
         g_(*inst.graph),
@@ -242,8 +285,16 @@ class Solver {
         d_(*inst.delay),
         assembler_(*inst.graph),
         heap_(opts.queue),
-        state_pool_(inst.graph->num_vertices(), inst.sinks.size(),
-                    opts.pool_search_state, opts.dense_state_budget_bytes),
+        scratch_(scratch),
+        state_pool_(scratch.state_pool),
+        comps_(scratch.comps),
+        dsu_parent_(scratch.dsu_parent),
+        searches_(scratch.searches),
+        vertex_owner_(scratch.vertex_owner),
+        edge_owner_(scratch.edge_owner),
+        path_verts_(scratch.path_verts),
+        path_edges_(scratch.path_edges),
+        controls_(controls),
         rng_(opts.seed) {
     astar_on_ = opts_.use_astar && opts_.future_cost != nullptr;
     place_on_ = opts_.better_steiner_placement && opts_.future_cost != nullptr;
@@ -251,7 +302,20 @@ class Solver {
 
   SolveResult run() {
     init();
+    const std::atomic<bool>* cancel =
+        controls_ != nullptr ? controls_->cancel : nullptr;
+    const std::uint32_t poll =
+        controls_ != nullptr && controls_->cancel_poll_interval > 0
+            ? controls_->cancel_poll_interval
+            : 4096;
+    // First pop checks immediately (a pre-cancelled token must not pay for
+    // even one search), then every `poll` pops.
+    std::uint32_t since_poll = poll - 1;
     while (remaining_ > 0) {
+      if (cancel != nullptr && ++since_poll >= poll) {
+        since_poll = 0;
+        if (cancel->load(std::memory_order_relaxed)) throw SolveCancelled();
+      }
       CDST_CHECK_MSG(!heap_.empty(),
                      "cost-distance: terminals are not connected in the graph");
       const auto top = heap_.pop_global_min();
@@ -280,6 +344,24 @@ class Solver {
   void init() {
     inst_.validate();
     const auto t = static_cast<std::uint32_t>(inst_.sinks.size());
+
+    // Recycled scratch: O(1)-ish resets that keep every allocation. The
+    // h-generation is monotonic across solves so recycled states cannot leak
+    // memoized bounds; near the u32 wrap the retained states are dropped
+    // wholesale (fresh states start at stamp 0), leaving 2^28 generations of
+    // headroom — far more merges than any single solve performs.
+    state_pool_.configure(g_.num_vertices(), t, opts_.pool_search_state,
+                          opts_.dense_state_budget_bytes);
+    if (scratch_.h_gen >= 0xf0000000u) {
+      state_pool_.drop_all();
+      scratch_.h_gen = 0;
+    }
+    ++scratch_.h_gen;
+    comps_.clear();
+    dsu_parent_.clear();
+    searches_.clear();
+    vertex_owner_.clear();
+    edge_owner_.clear();
 
     assembler_.add_root(inst_.root);  // node 0
     comps_.resize(t + 1);
@@ -377,7 +459,7 @@ class Solver {
     if (!astar_on_) return 0.0;
     SearchState& st = *searches_[comp].state;
     double cached;
-    if (st.h_cached(x, h_gen_, &cached)) return cached;
+    if (st.h_cached(x, scratch_.h_gen, &cached)) return cached;
     const FutureCostOracle& fc = *opts_.future_cost;
     const double w = comps_[comp].weight;
     const bool cost_ok = comps_[comp].singleton;  // discount feasibility
@@ -395,7 +477,7 @@ class Solver {
       if (cost_ok) ht += dist * fc.min_unit_cost();
       h = std::min(h, ht);
     }
-    st.store_h(x, h_gen_, h);
+    st.store_h(x, scratch_.h_gen, h);
     return h;
   }
 
@@ -612,10 +694,13 @@ class Solver {
     // Bumping the generation both invalidates surviving searches' memos and
     // fences recycled states (released above) from leaking h-values into the
     // search seeded below.
-    ++h_gen_;
+    ++scratch_.h_gen;
 
     --remaining_;
     if (!root_merge) seed_search(s);
+    if (controls_ != nullptr && controls_->on_merge) {
+      controls_->on_merge(stats_.iterations, inst_.sinks.size());
+    }
 
     CDST_LOG(kDebug) << "merge comp " << u << " + " << o << " -> " << s
                      << (root_merge ? " (root)" : "") << ", path edges "
@@ -670,24 +755,27 @@ class Solver {
 
   TreeAssembler assembler_;
   SolverQueue heap_;
-  SearchStatePool state_pool_;
+  // Recycled allocations, owned by the SolverScratch (see SolverScratch::Impl
+  // above); cleared in init(), capacity retained across solves.
+  SolverScratch::Impl& scratch_;
+  SearchStatePool& state_pool_;
+  std::vector<Component>& comps_;
+  std::vector<std::uint32_t>& dsu_parent_;
+  std::vector<Search>& searches_;
+  SparseMap<std::uint32_t>& vertex_owner_;
+  SparseMap<std::uint32_t>& edge_owner_;
+  /// Pooled merge() scratch for path reconstruction.
+  std::vector<VertexId>& path_verts_;
+  std::vector<EdgeId>& path_edges_;
+
+  const SolveControls* controls_{nullptr};
   Rng rng_;
   bool astar_on_{false};
   bool place_on_{false};
-
-  std::vector<Component> comps_;
-  std::vector<std::uint32_t> dsu_parent_;
-  std::vector<Search> searches_;
-  SparseMap<std::uint32_t> vertex_owner_;
-  SparseMap<std::uint32_t> edge_owner_;
   std::unique_ptr<L1NearestNeighbor> nn_;
-  /// Pooled merge() scratch for path reconstruction.
-  std::vector<VertexId> path_verts_;
-  std::vector<EdgeId> path_edges_;
 
   std::uint32_t root_comp_{0};
   std::uint32_t remaining_{0};
-  std::uint32_t h_gen_{1};  ///< future-bound memo generation (see merge())
   double active_sink_weight_{0.0};
   SolveStats stats_;
 };
@@ -695,9 +783,21 @@ class Solver {
 }  // namespace
 
 SolveResult solve_cost_distance(const CostDistanceInstance& instance,
-                                const SolverOptions& options) {
-  Solver solver(instance, options);
+                                const SolverOptions& options,
+                                SolverScratch* scratch,
+                                const SolveControls* controls) {
+  if (scratch != nullptr) {
+    Solver solver(instance, options, scratch->impl(), controls);
+    return solver.run();
+  }
+  SolverScratch local;
+  Solver solver(instance, options, local.impl(), controls);
   return solver.run();
+}
+
+SolveResult solve_cost_distance(const CostDistanceInstance& instance,
+                                const SolverOptions& options) {
+  return solve_cost_distance(instance, options, nullptr, nullptr);
 }
 
 }  // namespace cdst

@@ -16,12 +16,17 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
 
 #include "core/future_oracle.h"
 #include "core/instance.h"
 #include "core/objective.h"
 #include "core/steiner_tree.h"
+#include "util/assert.h"
 
 namespace cdst {
 
@@ -86,7 +91,62 @@ struct SolveResult {
   SolveStats stats;
 };
 
-/// Runs Algorithm 1 on the instance. Deterministic given options.seed.
+/// Recyclable solver workspace: the search-state pool (label arenas + dense
+/// vertex index arrays), ownership maps, component tables and path scratch of
+/// one solve, kept allocated between solves. A session (`CdSolver`) holds one
+/// SolverScratch per concurrent solve lane, so the production pattern of
+/// millions of oracle calls stops churning the allocator entirely.
+///
+/// Scratch contents never influence results: a solve against a recycled
+/// scratch is bit-identical to one against a fresh scratch (asserted by the
+/// pooled-state determinism tests). Not thread-safe — one scratch serves one
+/// solve at a time.
+class SolverScratch {
+ public:
+  SolverScratch();
+  ~SolverScratch();
+  SolverScratch(SolverScratch&&) noexcept;
+  SolverScratch& operator=(SolverScratch&&) noexcept;
+
+  struct Impl;  ///< defined in cost_distance.cpp
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Thrown by the solver when SolveControls::cancel is observed mid-solve.
+/// Internal control flow: the session API (api/cdst.h) converts it into a
+/// structured `Status` with code kCancelled before it reaches callers.
+class SolveCancelled : public std::runtime_error {
+ public:
+  SolveCancelled() : std::runtime_error("cost-distance solve cancelled") {}
+};
+
+/// Cooperative execution controls for a long-running solve. All members are
+/// optional; a null/empty member disables the corresponding hook.
+struct SolveControls {
+  /// Checked every `cancel_poll_interval` queue pops (and once up front);
+  /// when set, the solve unwinds by throwing SolveCancelled.
+  const std::atomic<bool>* cancel{nullptr};
+  /// Invoked after every component merge with (merges done, merges total);
+  /// total equals the instance's sink count. Called on the solving thread.
+  std::function<void(std::size_t, std::size_t)> on_merge;
+  std::uint32_t cancel_poll_interval{4096};
+};
+
+/// Runs Algorithm 1 on the instance. Deterministic given options.seed,
+/// independent of the (optional) scratch's history. Pass a SolverScratch to
+/// recycle allocations across solves and a SolveControls for progress /
+/// cancellation; either may be null.
+SolveResult solve_cost_distance(const CostDistanceInstance& instance,
+                                const SolverOptions& options,
+                                SolverScratch* scratch,
+                                const SolveControls* controls = nullptr);
+
+/// One-shot legacy entry: allocates and throws away all solver state.
+CDST_DEPRECATED(
+    "use cdst::CdSolver (api/cdst.h) or the SolverScratch-aware overload")
 SolveResult solve_cost_distance(const CostDistanceInstance& instance,
                                 const SolverOptions& options = {});
 

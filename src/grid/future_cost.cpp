@@ -2,15 +2,21 @@
 
 namespace cdst {
 
-FutureCost::FutureCost(const RoutingGrid& grid, std::size_t num_landmarks)
+FutureCost::FutureCost(const RoutingGrid& grid, std::size_t num_landmarks,
+                       ThreadPool* pool)
     : grid_(&grid),
       min_unit_cost_(grid.min_unit_cost()),
       min_unit_delay_(grid.min_unit_delay()),
       min_via_cost_(grid.min_via_cost()),
       min_via_delay_(grid.min_via_delay()) {
   if (num_landmarks > 0) {
+    // Batch of 4 per greedy round: enough table-build parallelism for the
+    // shared pool while keeping the avoid-farthest selection quality. The
+    // batch is a constant (never derived from the pool size) so landmark
+    // picks are identical with any pool, including none.
     landmarks_ = std::make_unique<Landmarks>(
-        grid.graph(), ArrayLength{grid.base_costs()}, num_landmarks);
+        grid.graph(), ArrayLength{grid.base_costs()}, num_landmarks, pool,
+        /*batch=*/4);
   }
 }
 

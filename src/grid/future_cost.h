@@ -21,10 +21,14 @@ namespace cdst {
 
 class FutureCost : public FutureCostOracle {
  public:
-  /// \param num_landmarks 0 disables the ALT component.
-  /// \param landmark_costs static edge costs for landmark preprocessing
-  ///        (must lower-bound the costs used at query time; pass base costs).
-  explicit FutureCost(const RoutingGrid& grid, std::size_t num_landmarks = 0);
+  /// \param num_landmarks 0 disables the ALT component. Landmark tables are
+  ///        built on the grid's base costs (admissible for any price state)
+  ///        with the batched avoid-farthest greedy of graph/landmarks.h.
+  /// \param pool optional worker pool, borrowed for construction only: the
+  ///        per-round landmark Dijkstras build in parallel. Never changes
+  ///        which landmarks are picked or any bound returned.
+  explicit FutureCost(const RoutingGrid& grid, std::size_t num_landmarks = 0,
+                      ThreadPool* pool = nullptr);
 
   Point2 xy(VertexId v) const override { return grid_->position(v).xy(); }
   double min_unit_cost() const override { return min_unit_cost_; }

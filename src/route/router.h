@@ -47,6 +47,9 @@ struct RouterOptions {
   int batch_size{48};
 };
 
+/// Snapshot of a routing state: final (route_chip) or current
+/// (Router::result()).
+
 struct RouterResult {
   TimingSummary timing;
   CongestionReport congestion;
@@ -61,6 +64,12 @@ struct RouterResult {
   std::vector<double> sink_weights;
 };
 
+/// One-shot legacy entry: routes options.iterations rounds and discards all
+/// session state (prices, multipliers, thread pool). Thin wrapper over the
+/// session object; throws ContractViolation on invalid input where the
+/// session API would return a structured Status.
+CDST_DEPRECATED("use cdst::Router (api/cdst.h): construct once, run() "
+                "resumable rounds, keep prices/weights for warm re-routes")
 RouterResult route_chip(const RoutingGrid& grid, const Netlist& netlist,
                         const RouterOptions& options);
 

@@ -25,39 +25,47 @@ OracleInstance::OracleInstance(const RoutingGrid& grid,
                                const CongestionCosts& costs, const Net& net,
                                std::span<const double> sink_weights,
                                const OracleParams& params)
-    : window_(grid, costs, net_window_box(net, params)),
-      future_cost_(window_) {
+    : rep_(std::make_unique<Rep>(grid, costs, net_window_box(net, params))) {
   CDST_CHECK(sink_weights.size() == net.sinks.size());
-  instance_.graph = &window_.graph();
-  instance_.cost = &window_.edge_costs();
-  instance_.delay = &window_.edge_delays();
-  instance_.dbif = params.dbif;
-  instance_.eta = params.eta;
-  instance_.root = window_.from_grid_vertex(grid.vertex_at(net.source));
-  CDST_CHECK(instance_.root != kInvalidVertex);
-  root_xy_ = net.source.xy();
+  Rep& rep = *rep_;
+  rep.instance.graph = &rep.window.graph();
+  rep.instance.cost = &rep.window.edge_costs();
+  rep.instance.delay = &rep.window.edge_delays();
+  rep.instance.dbif = params.dbif;
+  rep.instance.eta = params.eta;
+  rep.instance.root = rep.window.from_grid_vertex(grid.vertex_at(net.source));
+  CDST_CHECK(rep.instance.root != kInvalidVertex);
+  rep.root_xy = net.source.xy();
   for (std::size_t s = 0; s < net.sinks.size(); ++s) {
     const VertexId wv =
-        window_.from_grid_vertex(grid.vertex_at(net.sinks[s].pos));
+        rep.window.from_grid_vertex(grid.vertex_at(net.sinks[s].pos));
     CDST_CHECK(wv != kInvalidVertex);
-    instance_.sinks.push_back(Terminal{wv, sink_weights[s]});
-    plane_sinks_.push_back(PlaneTerminal{net.sinks[s].pos.xy(),
-                                         sink_weights[s], net.sinks[s].rat});
+    rep.instance.sinks.push_back(Terminal{wv, sink_weights[s]});
+    rep.plane_sinks.push_back(PlaneTerminal{net.sinks[s].pos.xy(),
+                                            sink_weights[s],
+                                            net.sinks[s].rat});
   }
 }
 
+OracleInstance::~OracleInstance() = default;
+OracleInstance::OracleInstance(OracleInstance&&) noexcept = default;
+OracleInstance& OracleInstance::operator=(OracleInstance&&) noexcept =
+    default;
+
 double OracleInstance::delay_per_unit() const {
-  return window_.grid().min_unit_delay();
+  return rep_->window.grid().min_unit_delay();
 }
 
 OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
-                         const OracleParams& params) {
+                         const OracleParams& params, SolverScratch* scratch,
+                         const SolveControls* controls) {
   OracleOutcome out;
   if (method == SteinerMethod::kCD) {
     SolverOptions opts = params.cd;
     opts.seed = params.seed;
     opts.future_cost = &oi.future_cost();
-    SolveResult r = solve_cost_distance(oi.instance(), opts);
+    SolveResult r = solve_cost_distance(oi.instance(), opts, scratch,
+                                        controls);
     out.eval = r.eval;
     out.grid_edges = oi.window().to_grid_edges(r.tree.all_edges());
     return out;
@@ -99,7 +107,7 @@ OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
                         const Net& net, std::span<const double> sink_weights,
                         SteinerMethod method, const OracleParams& params) {
   OracleInstance oi(grid, costs, net, sink_weights, params);
-  return run_method(oi, method, params);
+  return run_method(oi, method, params, nullptr, nullptr);
 }
 
 }  // namespace cdst

@@ -32,7 +32,10 @@ struct OracleParams {
 
 /// One net's Steiner problem, materialized on a routing window with current
 /// congestion prices. Self-contained: owns the window and all vectors the
-/// embedded CostDistanceInstance points into (not copyable/movable).
+/// embedded CostDistanceInstance points into. Movable (batch APIs store
+/// oracles in vectors): everything self-referential lives behind a single
+/// owning pointer, so a move never relocates what instance()/future_cost()
+/// point into. Not copyable.
 class OracleInstance {
  public:
   /// `sink_weights` is a borrowed view (one weight per net sink); it is read
@@ -41,26 +44,34 @@ class OracleInstance {
   OracleInstance(const RoutingGrid& grid, const CongestionCosts& costs,
                  const Net& net, std::span<const double> sink_weights,
                  const OracleParams& params);
+  ~OracleInstance();
 
+  OracleInstance(OracleInstance&&) noexcept;
+  OracleInstance& operator=(OracleInstance&&) noexcept;
   OracleInstance(const OracleInstance&) = delete;
   OracleInstance& operator=(const OracleInstance&) = delete;
 
-  const CostDistanceInstance& instance() const { return instance_; }
-  const RoutingWindow& window() const { return window_; }
-  const WindowFutureCost& future_cost() const { return future_cost_; }
+  const CostDistanceInstance& instance() const { return rep_->instance; }
+  const RoutingWindow& window() const { return rep_->window; }
+  const WindowFutureCost& future_cost() const { return rep_->future_cost; }
   const std::vector<PlaneTerminal>& plane_sinks() const {
-    return plane_sinks_;
+    return rep_->plane_sinks;
   }
-  Point2 root_xy() const { return root_xy_; }
+  Point2 root_xy() const { return rep_->root_xy; }
   /// Fastest linear delay per gcell, for plane delay estimates in SL/PD.
   double delay_per_unit() const;
 
  private:
-  RoutingWindow window_;
-  WindowFutureCost future_cost_;
-  CostDistanceInstance instance_;
-  std::vector<PlaneTerminal> plane_sinks_;
-  Point2 root_xy_;
+  struct Rep {
+    Rep(const RoutingGrid& grid, const CongestionCosts& costs, Rect box)
+        : window(grid, costs, box), future_cost(window) {}
+    RoutingWindow window;
+    WindowFutureCost future_cost;
+    CostDistanceInstance instance;
+    std::vector<PlaneTerminal> plane_sinks;
+    Point2 root_xy;
+  };
+  std::unique_ptr<Rep> rep_;
 };
 
 struct OracleOutcome {
@@ -68,11 +79,18 @@ struct OracleOutcome {
   std::vector<EdgeId> grid_edges;  ///< tree edges in full-grid ids
 };
 
-/// Solves the materialized instance with the chosen method.
+/// Solves the materialized instance with the chosen method. `scratch`
+/// recycles cost-distance solver state across calls and `controls` wires in
+/// cancellation; both may be null (one-shot behavior). Results do not depend
+/// on the scratch's history.
 OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
-                         const OracleParams& params);
+                         const OracleParams& params,
+                         SolverScratch* scratch = nullptr,
+                         const SolveControls* controls = nullptr);
 
-/// Convenience wrapper: materialize + solve in one step (the router's path).
+/// One-shot legacy wrapper: materialize + solve with throwaway state.
+CDST_DEPRECATED("materialize an OracleInstance and call run_method (or use "
+                "cdst::Router, api/cdst.h) to recycle solver state")
 OracleOutcome route_net(const RoutingGrid& grid, const CongestionCosts& costs,
                         const Net& net, std::span<const double> sink_weights,
                         SteinerMethod method, const OracleParams& params);

@@ -1,0 +1,481 @@
+// Tests for the session API (api/cdst.h): structured Status/StatusOr,
+// CdSolver scratch recycling and deterministic batch solving, RunControl
+// progress/cancellation, the resumable warm-starting Router, and the
+// equivalence of the deprecated one-shot wrappers with the sessions that
+// now implement them.
+//
+// Compares against the deprecated legacy entry points on purpose.
+#define CDST_ALLOW_DEPRECATED
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "api/cdst.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "route/netlist_gen.h"
+#include "route/steiner_oracle.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cdst {
+namespace {
+
+/// Bundle owning everything a grid instance points to.
+struct GridInstance {
+  std::unique_ptr<RoutingGrid> grid;
+  std::unique_ptr<FutureCost> fc;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  CostDistanceInstance inst;
+};
+
+/// Heap-allocated so the self-referential inst.cost/inst.delay pointers can
+/// never dangle through a return-path move (NRVO is not guaranteed).
+std::unique_ptr<GridInstance> make_grid_instance(std::uint64_t seed, int nx,
+                                                 int ny, int nz,
+                                                 std::size_t num_sinks,
+                                                 double dbif = 2.0) {
+  auto gi = std::make_unique<GridInstance>();
+  gi->grid = std::make_unique<RoutingGrid>(
+      nx, ny, make_default_layer_stack(nz), ViaSpec{});
+  gi->fc = std::make_unique<FutureCost>(*gi->grid);
+  Rng rng(seed);
+  const Graph& g = gi->grid->graph();
+  gi->cost.resize(g.num_edges());
+  gi->delay = gi->grid->edge_delays();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    gi->cost[e] = gi->grid->base_costs()[e] *
+                  std::exp(rng.uniform_double(0.0, 2.0));
+  }
+  gi->inst.graph = &g;
+  gi->inst.cost = &gi->cost;
+  gi->inst.delay = &gi->delay;
+  gi->inst.dbif = dbif;
+  gi->inst.eta = 0.25;
+  std::set<VertexId> used;
+  auto pick = [&]() {
+    while (true) {
+      const auto x = static_cast<std::int32_t>(rng.uniform(nx));
+      const auto y = static_cast<std::int32_t>(rng.uniform(ny));
+      const VertexId v = gi->grid->vertex_at(x, y, 0);
+      if (used.insert(v).second) return v;
+    }
+  };
+  gi->inst.root = pick();
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    gi->inst.sinks.push_back(
+        Terminal{pick(), std::exp(rng.uniform_double(-2.0, 2.0))});
+  }
+  return gi;
+}
+
+ChipConfig tiny_chip() {
+  ChipConfig c;
+  c.name = "tiny";
+  c.num_nets = 60;
+  c.num_layers = 4;
+  c.nx = c.ny = 20;
+  c.capacity = 10.0;
+  c.seed = 7;
+  return c;
+}
+
+// ----------------------------------------------------------------- status --
+
+TEST(Status, DefaultIsOkAndCodesRoundTrip) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  const Status c = Status::Cancelled("stopped");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.to_string(), "CANCELLED: stopped");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+}
+
+TEST(Status, StatusOrHoldsValueOrError) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.status().code(), StatusCode::kOk);
+
+  StatusOr<int> e(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(e.value(), ContractViolation);
+}
+
+// --------------------------------------------------------------- cd solver --
+
+TEST(CdSolver, MatchesLegacyOneShotBitIdentically) {
+  const auto gi = make_grid_instance(11, 10, 9, 3, 7);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  opts.seed = 5;
+
+  const SolveResult legacy = solve_cost_distance(gi->inst, opts);
+  CdSolver solver(opts);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const StatusOr<SolveResult> r = solver.solve(gi->inst);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_DOUBLE_EQ(r->eval.objective, legacy.eval.objective);
+    EXPECT_EQ(r->tree.all_edges(), legacy.tree.all_edges());
+    EXPECT_EQ(r->stats.labels_settled, legacy.stats.labels_settled);
+  }
+}
+
+TEST(CdSolver, ScratchIsInvisibleAcrossDifferentInstances) {
+  // Interleave instances of very different size/shape on ONE session: every
+  // solve must match a fresh-session solve of the same instance.
+  CdSolver session;
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    for (const std::size_t sinks : {2u, 9u, 17u}) {
+      const auto gi =
+          make_grid_instance(seed * 131, 8 + sinks % 5, 9, 3, sinks);
+      SolverOptions opts;
+      opts.future_cost = gi->fc.get();
+      opts.seed = seed;
+      session.set_options(opts);
+      const StatusOr<SolveResult> warm = session.solve(gi->inst);
+      CdSolver fresh(opts);
+      const StatusOr<SolveResult> cold = fresh.solve(gi->inst);
+      ASSERT_TRUE(warm.ok() && cold.ok());
+      EXPECT_EQ(warm->tree.all_edges(), cold->tree.all_edges());
+      EXPECT_DOUBLE_EQ(warm->eval.objective, cold->eval.objective);
+    }
+  }
+}
+
+TEST(CdSolver, BatchIsBitIdenticalAtAnyThreadCount) {
+  // GridInstance is self-referential (inst points into its own vectors), so
+  // hold the fixtures behind stable pointers.
+  std::vector<std::unique_ptr<GridInstance>> gis;
+  std::vector<CdSolver::Job> jobs;
+  for (std::uint64_t s = 1; s <= 12; ++s) {
+    gis.push_back(make_grid_instance(s * 71, 9, 8, 3, 2 + s % 7));
+  }
+  for (std::size_t i = 0; i < gis.size(); ++i) {
+    CdSolver::Job job;
+    job.instance = &gis[i]->inst;
+    job.future_cost = gis[i]->fc.get();
+    job.seed = i + 1;
+    jobs.push_back(job);
+  }
+
+  // Reference: sequential solve() calls.
+  std::vector<SolveResult> reference;
+  {
+    CdSolver solver;
+    for (const CdSolver::Job& job : jobs) {
+      StatusOr<SolveResult> r = solver.solve(job);
+      ASSERT_TRUE(r.ok()) << r.status().to_string();
+      reference.push_back(*std::move(r));
+    }
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    CdSolver solver({}, &pool);
+    std::size_t progress_calls = 0;
+    RunControl control;
+    control.on_progress = [&](const Progress& p) {
+      EXPECT_STREQ(p.stage, "solve_batch");
+      EXPECT_EQ(p.total, jobs.size());
+      ++progress_calls;
+    };
+    const StatusOr<std::vector<SolveResult>> batch =
+        solver.solve_batch(std::span<const CdSolver::Job>(jobs), control);
+    ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+    ASSERT_EQ(batch->size(), reference.size());
+    EXPECT_EQ(progress_calls, jobs.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ((*batch)[i].tree.all_edges(), reference[i].tree.all_edges())
+          << "instance " << i << " at " << threads << " threads";
+      EXPECT_DOUBLE_EQ((*batch)[i].eval.objective,
+                       reference[i].eval.objective);
+      EXPECT_EQ((*batch)[i].stats.labels_settled,
+                reference[i].stats.labels_settled);
+    }
+  }
+}
+
+TEST(CdSolver, InvalidInstanceReturnsStatusInsteadOfThrowing) {
+  auto gi = make_grid_instance(21, 6, 6, 3, 2);
+  gi->inst.sinks.clear();  // validate() rejects sink-less instances
+  CdSolver solver;
+  const StatusOr<SolveResult> r = solver.solve(gi->inst);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Disconnected terminals surface the same way (the legacy path threw).
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g(b);
+  const std::vector<double> c{1.0, 1.0};
+  const std::vector<double> d{1.0, 1.0};
+  CostDistanceInstance inst;
+  inst.graph = &g;
+  inst.cost = &c;
+  inst.delay = &d;
+  inst.root = 0;
+  inst.sinks = {Terminal{3, 1.0}};
+  const StatusOr<SolveResult> r2 = solver.solve(inst);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  CdSolver::Job no_instance;
+  EXPECT_EQ(solver.solve(no_instance).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CdSolver, PreCancelledTokenShortCircuits) {
+  const auto gi = make_grid_instance(31, 8, 8, 3, 5);
+  CdSolver solver;
+  CancelToken token;
+  token.request_cancel();
+  RunControl control;
+  control.cancel = &token;
+  const StatusOr<SolveResult> r = solver.solve(gi->inst, control);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+
+  std::vector<CostDistanceInstance> instances{gi->inst};
+  const auto batch = solver.solve_batch(
+      std::span<const CostDistanceInstance>(instances), control);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CdSolver, CancelMidSolveFromProgressCallback) {
+  // Cancel from inside the merge-progress callback; the solver must unwind
+  // cleanly (ASan run verifies leak-freedom of the abandoned search state)
+  // and the session must stay usable for the next solve.
+  const auto gi = make_grid_instance(41, 20, 20, 4, 40);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  CdSolver solver(opts);
+  CancelToken token;
+  RunControl control;
+  control.cancel = &token;
+  control.cancel_poll_interval = 16;  // tight polling for the test
+  std::size_t merges_seen = 0;
+  control.on_progress = [&](const Progress& p) {
+    EXPECT_STREQ(p.stage, "solve");
+    merges_seen = p.done;
+    if (p.done >= 2) token.request_cancel();
+  };
+  const StatusOr<SolveResult> r = solver.solve(gi->inst, control);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(merges_seen, 2u);
+  EXPECT_LT(merges_seen, gi->inst.sinks.size())
+      << "cancellation should have stopped the solve well before completion";
+
+  // The same session finishes the instance when allowed to.
+  const StatusOr<SolveResult> full = solver.solve(gi->inst);
+  ASSERT_TRUE(full.ok()) << full.status().to_string();
+  EXPECT_EQ(full->stats.iterations, gi->inst.sinks.size());
+}
+
+// ------------------------------------------------------------------ router --
+
+TEST(RouterSession, MatchesLegacyRouteChipBitIdentically) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.iterations = 3;
+  opts.seed = 5;
+  const RouterResult legacy = route_chip(grid, nl, opts);
+
+  Router session(grid, nl, opts);
+  ASSERT_TRUE(session.run(3).ok());
+  EXPECT_EQ(session.rounds_completed(), 3);
+  const RouterResult r = session.result();
+  ASSERT_EQ(r.routes.size(), legacy.routes.size());
+  for (std::size_t i = 0; i < r.routes.size(); ++i) {
+    EXPECT_EQ(r.routes[i], legacy.routes[i]) << "net " << i;
+  }
+  ASSERT_EQ(r.sink_delays.size(), legacy.sink_delays.size());
+  for (std::size_t s = 0; s < r.sink_delays.size(); ++s) {
+    EXPECT_DOUBLE_EQ(r.sink_delays[s], legacy.sink_delays[s]);
+    EXPECT_DOUBLE_EQ(r.sink_weights[s], legacy.sink_weights[s]);
+  }
+  EXPECT_DOUBLE_EQ(r.timing.total_negative_slack,
+                   legacy.timing.total_negative_slack);
+  EXPECT_EQ(r.wires.num_vias, legacy.wires.num_vias);
+}
+
+TEST(RouterSession, WarmResumedRunsMatchOneFreshRun) {
+  // run(2); run(2) must be bit-identical to run(4): seeds and multiplier
+  // steps are indexed by the absolute round, and the final-round weight
+  // state is preserved across the split.
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.batch_size = 16;
+  opts.seed = 9;
+
+  Router split(grid, nl, opts);
+  ASSERT_TRUE(split.run(2).ok());
+  ASSERT_TRUE(split.run(2).ok());
+  EXPECT_EQ(split.rounds_completed(), 4);
+
+  Router fresh(grid, nl, opts);
+  ASSERT_TRUE(fresh.run(4).ok());
+
+  const RouterResult a = split.result();
+  const RouterResult b = fresh.result();
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i], b.routes[i]) << "net " << i;
+  }
+  for (std::size_t s = 0; s < a.sink_delays.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a.sink_delays[s], b.sink_delays[s]) << "sink " << s;
+    EXPECT_DOUBLE_EQ(a.sink_weights[s], b.sink_weights[s]) << "sink " << s;
+  }
+}
+
+TEST(RouterSession, SharedPoolThreadCountInvariant) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.batch_size = 16;
+
+  std::vector<RouterResult> results;
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    Router session(grid, nl, opts, &pool);
+    ASSERT_TRUE(session.run(2).ok());
+    results.push_back(session.result());
+  }
+  ASSERT_EQ(results[0].routes.size(), results[1].routes.size());
+  for (std::size_t i = 0; i < results[0].routes.size(); ++i) {
+    EXPECT_EQ(results[0].routes[i], results[1].routes[i]) << "net " << i;
+  }
+}
+
+TEST(RouterSession, RunValidatesArguments) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  Router session(grid, nl, RouterOptions{});
+  EXPECT_EQ(session.run(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(session.run(0).ok());  // no-op
+  EXPECT_EQ(session.rounds_completed(), 0);
+}
+
+TEST(RouterSession, CancelMidRunLeavesCoherentResumableState) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.batch_size = 8;
+
+  Router session(grid, nl, opts);
+  CancelToken token;
+  RunControl control;
+  control.cancel = &token;
+  std::size_t batches_seen = 0;
+  control.on_progress = [&](const Progress& p) {
+    EXPECT_STREQ(p.stage, "route");
+    if (++batches_seen == 2) token.request_cancel();
+  };
+  const Status st = session.run(2, control);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(session.rounds_completed(), 0);
+
+  // The snapshot is coherent (metrics computable, sizes right) even though
+  // only part of the first round committed.
+  const RouterResult partial = session.result();
+  EXPECT_EQ(partial.routes.size(), nl.nets.size());
+
+  // Resuming after clearing the token completes normally.
+  token.reset();
+  ASSERT_TRUE(session.run(2, control).ok());
+  EXPECT_EQ(session.rounds_completed(), 2);
+  const RouterResult full = session.result();
+  EXPECT_GT(full.wires.wirelength_gcells, 0.0);
+}
+
+TEST(RouterSession, SetOptionsReroutesWarmFromConvergedState) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+
+  Router session(grid, nl, opts);
+  ASSERT_TRUE(session.run(2).ok());
+  const std::vector<double> warm_weights = session.sink_weights();
+
+  RouterOptions changed = opts;
+  changed.oracle.dbif = 3.0;  // option change: re-route warm
+  ASSERT_TRUE(session.set_options(changed).ok());
+  EXPECT_EQ(session.sink_weights(), warm_weights)
+      << "option changes must keep the Lagrange multipliers";
+  ASSERT_TRUE(session.run(1).ok());
+  EXPECT_EQ(session.rounds_completed(), 3);
+  const RouterResult r = session.result();
+  EXPECT_EQ(r.routes.size(), nl.nets.size());
+  EXPECT_GT(r.wires.wirelength_gcells, 0.0);
+
+  RouterOptions bad = changed;
+  bad.batch_size = 0;
+  EXPECT_EQ(session.set_options(bad).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- movability --
+
+TEST(OracleInstanceApi, MoveKeepsSelfReferencesValid) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  CongestionCosts costs(grid);
+  const Net* net = nullptr;
+  for (const Net& n : nl.nets) {
+    if (n.sinks.size() >= 3) {
+      net = &n;
+      break;
+    }
+  }
+  ASSERT_NE(net, nullptr);
+  const std::vector<double> weights(net->sinks.size(), 0.5);
+  OracleParams params;
+  params.dbif = 2.0;
+
+  OracleInstance original(grid, costs, *net, weights, params);
+  const OracleOutcome before = run_method(original, SteinerMethod::kCD,
+                                          params);
+
+  // Move through a growing vector (reallocation moves the elements again).
+  std::vector<OracleInstance> held;
+  held.push_back(std::move(original));
+  for (int i = 0; i < 3; ++i) {
+    held.push_back(OracleInstance(grid, costs, *net, weights, params));
+  }
+  OracleInstance& moved = held.front();
+  EXPECT_EQ(moved.instance().graph, &moved.window().graph())
+      << "moved instance must still point at its own window";
+  const OracleOutcome after = run_method(moved, SteinerMethod::kCD, params);
+  EXPECT_EQ(after.grid_edges, before.grid_edges);
+  EXPECT_DOUBLE_EQ(after.eval.objective, before.eval.objective);
+}
+
+}  // namespace
+}  // namespace cdst

@@ -2,6 +2,11 @@
 // enhancements): structural validity, objective consistency, optimality on
 // special cases, comparison against the exact enumeration oracle, and
 // behaviour of every enhancement toggle.
+//
+// Intentionally exercises the deprecated one-shot solve_cost_distance
+// wrapper (api_test covers the session API), keeping the legacy surface
+// under test until it is removed.
+#define CDST_ALLOW_DEPRECATED
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,8 @@
 // Cross-module integration tests: the full pipeline from chip generation
 // through routing to per-instance oracle comparison, window/grid consistency
 // of solved trees, and serialization of router-sampled instances.
+// Uses the deprecated one-shot wrappers on purpose (legacy coverage).
+#define CDST_ALLOW_DEPRECATED
 
 #include <gtest/gtest.h>
 

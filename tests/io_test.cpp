@@ -1,4 +1,6 @@
 // Tests for instance serialization, the table printer and the SVG emitter.
+// Uses the deprecated one-shot solve wrapper on purpose (legacy coverage).
+#define CDST_ALLOW_DEPRECATED
 
 #include <gtest/gtest.h>
 

@@ -1,5 +1,10 @@
 // Tests for the timing-constrained global router substrate: netlist
 // generation, per-net oracles, metrics, and the Lagrangean routing loop.
+//
+// Intentionally exercises the deprecated route_chip / route_net wrappers
+// (api_test covers the session API), keeping the legacy surface under test
+// until it is removed.
+#define CDST_ALLOW_DEPRECATED
 
 #include <gtest/gtest.h>
 
