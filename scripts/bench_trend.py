@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
-"""Diff two Google Benchmark JSON files and fail on a median regression.
+"""Diff Google Benchmark JSON files and fail on a median regression.
 
 Usage:
-    bench_trend.py BASELINE.json CURRENT.json [--threshold-pct 15]
+    bench_trend.py BASELINE.json CURRENT.json [BASELINE2.json CURRENT2.json
+                   ...] [--threshold-pct 15]
 
-For every benchmark present in BOTH files, the per-benchmark time is the
-median: the reported "median" aggregate when repetitions were used, else the
-median over the iteration entries. The check fails (exit 1) when the median
-of the per-benchmark current/baseline ratios exceeds 1 + threshold — a
-fleet-wide regression signal that is robust to one noisy benchmark.
+Files are consumed as (baseline, current) pairs, so one invocation can gate
+several benchmark suites at once (the CI bench job diffs BENCH_cd_scaling
+and BENCH_router together). For every benchmark present in BOTH files of a
+pair, the per-benchmark time is the median: the reported "median" aggregate
+when repetitions were used, else the median over the iteration entries. The
+check fails (exit 1) when any PAIR's median of per-benchmark
+current/baseline ratios exceeds 1 + threshold — per-pair, so a wholesale
+regression in a small suite cannot hide behind a flat larger one, and
+per-median within the pair, so one noisy benchmark cannot fail the fleet.
 Benchmarks present in only one file (renamed/added rows) are listed and
-skipped. Exit code 0 otherwise.
+skipped; a pair whose baseline file is missing is skipped entirely (a new
+suite has no history yet). Exit code 0 otherwise.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
@@ -39,40 +46,69 @@ def median_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold-pct", type=float, default=15.0)
-    args = parser.parse_args()
-
-    base = median_times(args.baseline)
-    curr = median_times(args.current)
+def diff_pair(baseline_path, current_path, threshold_pct):
+    """Prints one pair's table; returns the pair's median ratio, or None
+    when the pair contributed no comparison."""
+    base = median_times(baseline_path)
+    curr = median_times(current_path)
     shared = sorted(set(base) & set(curr))
+    label = os.path.basename(current_path)
     if not shared:
-        print("bench_trend: no overlapping benchmarks; skipping check")
-        return 0
+        print(f"bench_trend [{label}]: no overlapping benchmarks; skipping")
+        return None
     for name in sorted(set(base) ^ set(curr)):
         side = "baseline only" if name in base else "current only"
-        print(f"bench_trend: skipping {name} ({side})")
+        print(f"bench_trend [{label}]: skipping {name} ({side})")
 
     ratios = []
+    print(f"\n[{label}]")
     print(f"{'benchmark':<44} {'base':>10} {'curr':>10} {'ratio':>7}")
     for name in shared:
         ratio = curr[name] / base[name] if base[name] > 0 else 1.0
         ratios.append(ratio)
-        flag = "  <-- slower" if ratio > 1 + args.threshold_pct / 100 else ""
+        flag = "  <-- slower" if ratio > 1 + threshold_pct / 100 else ""
         print(f"{name:<44} {base[name]:>10.3f} {curr[name]:>10.3f} "
               f"{ratio:>7.3f}{flag}")
-
     med = statistics.median(ratios)
-    print(f"\nmedian ratio over {len(shared)} benchmarks: {med:.3f} "
-          f"(threshold {1 + args.threshold_pct / 100:.2f})")
-    if med > 1 + args.threshold_pct / 100:
-        print(f"bench_trend: FAIL — median regression exceeds "
-              f"{args.threshold_pct:.0f}%")
+    print(f"[{label}] median ratio over {len(ratios)} benchmarks: "
+          f"{med:.3f} (threshold {1 + threshold_pct / 100:.2f})")
+    return med
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+",
+                        help="baseline/current JSON files, in pairs")
+    parser.add_argument("--threshold-pct", type=float, default=15.0)
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0:
+        print("bench_trend: expected an even number of files "
+              "(baseline current [baseline current ...])")
+        return 2
+
+    failed = []
+    compared = 0
+    for i in range(0, len(args.files), 2):
+        baseline, current = args.files[i], args.files[i + 1]
+        if not os.path.exists(baseline):
+            print(f"bench_trend: no baseline {baseline}; skipping pair")
+            continue
+        med = diff_pair(baseline, current, args.threshold_pct)
+        if med is None:
+            continue
+        compared += 1
+        if med > 1 + args.threshold_pct / 100:
+            failed.append(os.path.basename(current))
+
+    if compared == 0:
+        print("bench_trend: nothing to compare; skipping check")
+        return 0
+    if failed:
+        print(f"\nbench_trend: FAIL — median regression exceeds "
+              f"{args.threshold_pct:.0f}% in: {', '.join(failed)}")
         return 1
-    print("bench_trend: OK")
+    print("\nbench_trend: OK")
     return 0
 
 

@@ -33,7 +33,8 @@ Status solve_into(const CostDistanceInstance& instance,
 CdSolver::CdSolver(SolverOptions options, ThreadPool* pool)
     : options_(std::move(options)),
       pool_(pool),
-      scratch_(std::make_unique<detail::SolverScratchPool>()) {}
+      scratch_(std::make_unique<detail::SolverScratchPool>()),
+      dense_budget_(options_.dense_state_budget_bytes) {}
 
 CdSolver::~CdSolver() = default;
 CdSolver::CdSolver(CdSolver&&) noexcept = default;
@@ -54,6 +55,9 @@ StatusOr<SolveResult> CdSolver::solve(const Job& job,
   SolverOptions opts = options_;
   if (job.future_cost != nullptr) opts.future_cost = job.future_cost;
   if (job.seed.has_value()) opts.seed = *job.seed;
+  if (opts.shared_dense_budget == nullptr) {
+    opts.shared_dense_budget = &dense_budget_;
+  }
 
   SolveControls controls = detail::make_solve_controls(control);
   if (control.on_progress) {
@@ -100,6 +104,10 @@ StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
     SolverOptions opts = options_;
     if (jobs[i].future_cost != nullptr) opts.future_cost = jobs[i].future_cost;
     if (jobs[i].seed.has_value()) opts.seed = *jobs[i].seed;
+    if (opts.shared_dense_budget == nullptr) {
+      // All lanes of the batch draw from the session's one atomic pool.
+      opts.shared_dense_budget = &dense_budget_;
+    }
     SolveControls controls = detail::make_solve_controls(control);
 
     const detail::SolverScratchPool::Lease lease = scratch_->lease();

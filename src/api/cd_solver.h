@@ -45,7 +45,11 @@ class CdSolver {
   CdSolver& operator=(CdSolver&&) noexcept;
 
   const SolverOptions& options() const { return options_; }
-  void set_options(const SolverOptions& options) { options_ = options; }
+  void set_options(const SolverOptions& options) {
+    options_ = options;
+    // Safe between calls: the session API never re-sizes mid-batch.
+    dense_budget_.reset(options.dense_state_budget_bytes);
+  }
 
   /// One instance of a batch: the instance plus optional per-job overrides
   /// of the session options (the windowed router oracles need a per-net
@@ -82,6 +86,12 @@ class CdSolver {
   SolverOptions options_;
   ThreadPool* pool_;
   std::unique_ptr<detail::SolverScratchPool> scratch_;
+  /// One atomic dense-state pool shared across all of this session's solve
+  /// lanes, sized from options_.dense_state_budget_bytes: concurrent
+  /// solve_batch lanes draw per-solve reservations from it instead of each
+  /// budgeting independently. Callers that set their own
+  /// options.shared_dense_budget override it.
+  DenseStateBudget dense_budget_;
 };
 
 }  // namespace cdst

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <span>
 #include <utility>
 
 #include "api/scratch_pool.h"
+#include "route/sharding.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -19,6 +21,7 @@ struct Router::Impl {
         netlist(netlist_in),
         options(options_in),
         costs(grid_in, options_in.congestion),
+        dense_budget(options_in.oracle.cd.dense_state_budget_bytes),
         pool(shared_pool) {
     if (pool == nullptr) {
       owned_pool =
@@ -117,6 +120,126 @@ struct Router::Impl {
 
   Status route_round(int round, int target_rounds,
                      const RunControl& control) {
+    return options.shards > 0 ? route_round_sharded(round, target_rounds,
+                                                    control)
+                              : route_round_batched(round, target_rounds,
+                                                    control);
+  }
+
+  /// Materializes and solves one net's oracle instance — the one place the
+  /// per-net seed derivation, sink-weight view, dense-budget injection and
+  /// scratch lease live, so the batched and sharded disciplines cannot
+  /// drift apart. `pricing` null = live congestion prices (batched path);
+  /// otherwise the round's frozen snapshot (sharded path).
+  OracleOutcome route_one_net(std::size_t i, int round,
+                              const RoundPricing* pricing,
+                              const SolveControls& controls) {
+    const Net& net = netlist.nets[i];
+    // The weights view borrows from sink_weights, which only changes
+    // between rounds — never while nets are in flight.
+    const std::span<const double> weights(
+        sink_weights.data() + sink_offset[i],
+        sink_offset[i + 1] - sink_offset[i]);
+    OracleParams p = options.oracle;
+    p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
+             static_cast<std::uint64_t>(round);
+    if (p.cd.shared_dense_budget == nullptr) {
+      p.cd.shared_dense_budget = &dense_budget;
+    }
+    const detail::SolverScratchPool::Lease lease = scratch.lease();
+    const OracleInstance oi(grid, costs, net, weights, p, pricing);
+    return run_method(oi, options.method, p, lease.get(), &controls);
+  }
+
+  /// One spatially sharded round (RouterOptions::shards): frozen price
+  /// snapshot, shard-parallel routing, net-order merge at the barrier.
+  /// Nothing observable mutates before the barrier, so a cancelled or
+  /// failed round leaves the session exactly at the previous boundary —
+  /// no rollback needed — and results are bit-identical at any thread and
+  /// shard count.
+  Status route_round_sharded(int round, int target_rounds,
+                             const RunControl& control) {
+    const std::size_t num_nets = netlist.nets.size();
+    const SolveControls controls = detail::make_solve_controls(control);
+
+    // Shard map is a pure function of (grid, netlist, shards); rebuild only
+    // when the shard count changes (set_options may do that mid-session).
+    if (shard_map.nets.empty() || shard_map_shards != options.shards) {
+      shard_map = assign_nets_to_shards(grid, netlist, options.shards);
+      shard_map_shards = options.shards;
+    }
+
+    // Freeze this round's price plane once: every net gathers window prices
+    // from it instead of exponentiating utilization per window edge.
+    costs.fill_edge_costs(round_costs);
+
+    std::vector<OracleOutcome> outcomes(num_nets);
+    std::mutex progress_mu;
+    std::size_t nets_done = 0;  // guarded by progress_mu
+
+    const std::function<void(std::size_t)> route_shard =
+        [&](std::size_t sh) {
+          const std::vector<std::uint32_t>& mine = shard_map.nets[sh];
+          // One exclusion map per shard task, recycled across its nets.
+          SparseMap<double> excluded;
+          for (const std::uint32_t i : mine) {
+            const Net& net = netlist.nets[i];
+            if (net.sinks.empty()) continue;
+            if (controls.cancel != nullptr &&
+                controls.cancel->load(std::memory_order_relaxed)) {
+              throw SolveCancelled();
+            }
+            // The net prices against the snapshot minus its own committed
+            // usage — the snapshot-world equivalent of ripping it up.
+            excluded.clear();
+            for (const EdgeId e : routes[i]) {
+              const RoutingGrid::EdgeInfo& info = grid.edge_info(e);
+              excluded[info.resource] += info.width;
+            }
+            const RoundPricing pricing{
+                round_costs, routes[i].empty() ? nullptr : &excluded};
+            outcomes[i] = route_one_net(i, round, &pricing, controls);
+          }
+          if (control.on_progress) {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            nets_done += mine.size();
+            Progress prog;
+            prog.stage = "route";
+            prog.done = nets_done;
+            prog.total = num_nets;
+            prog.round = round;
+            prog.total_rounds = target_rounds;
+            control.on_progress(prog);
+          }
+        };
+    try {
+      pool->parallel_for(0, shard_map.nets.size(), route_shard);
+    } catch (const SolveCancelled&) {
+      return Status::Cancelled(
+          "router run cancelled during a sharded round; committed state "
+          "unchanged");
+    }
+
+    // Round barrier: merge every shard's deltas in net order. The serial
+    // net-order commit makes the accumulated usage bit-identical regardless
+    // of how many shards (or threads) produced the outcomes.
+    for (std::size_t i = 0; i < num_nets; ++i) {
+      const Net& net = netlist.nets[i];
+      if (net.sinks.empty()) continue;
+      if (!routes[i].empty()) costs.add_usage(routes[i], -1.0);
+      OracleOutcome& out = outcomes[i];
+      costs.add_usage(out.grid_edges, +1.0);
+      routes[i] = std::move(out.grid_edges);
+      for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+        sink_delays[sink_offset[i] + s] = out.eval.sink_delays[s];
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// The legacy batched round discipline (RouterOptions::shards == 0).
+  Status route_round_batched(int round, int target_rounds,
+                             const RunControl& control) {
     const std::size_t num_nets = netlist.nets.size();
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, options.batch_size));
@@ -136,24 +259,13 @@ struct Router::Impl {
       std::vector<OracleOutcome> outcomes(hi - lo);
       const std::function<void(std::size_t)> route_one =
           [&](std::size_t i) {
-            const Net& net = netlist.nets[i];
-            if (net.sinks.empty()) return;
+            if (netlist.nets[i].sinks.empty()) return;
             if (controls.cancel != nullptr &&
                 controls.cancel->load(std::memory_order_relaxed)) {
               throw SolveCancelled();
             }
-            // The weights view borrows from sink_weights, which only
-            // changes between rounds — never while a batch is in flight.
-            const std::span<const double> weights(
-                sink_weights.data() + sink_offset[i],
-                sink_offset[i + 1] - sink_offset[i]);
-            OracleParams p = options.oracle;
-            p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
-                     static_cast<std::uint64_t>(round);
-            const detail::SolverScratchPool::Lease lease = scratch.lease();
-            const OracleInstance oi(grid, costs, net, weights, p);
             outcomes[i - lo] =
-                run_method(oi, options.method, p, lease.get(), &controls);
+                route_one_net(i, round, /*pricing=*/nullptr, controls);
           };
       try {
         pool->parallel_for(lo, hi, route_one);
@@ -220,9 +332,18 @@ struct Router::Impl {
   const Netlist& netlist;
   RouterOptions options;
   CongestionCosts costs;
+  /// One atomic dense-state pool shared by every concurrent oracle lane of
+  /// this session (sized from options.oracle.cd.dense_state_budget_bytes).
+  DenseStateBudget dense_budget;
   ThreadPool* pool{nullptr};
   std::unique_ptr<ThreadPool> owned_pool;
   detail::SolverScratchPool scratch;
+
+  // Sharded-round state: the net partition (rebuilt when the shard count
+  // changes) and the recycled per-round price snapshot.
+  ShardMap shard_map;
+  int shard_map_shards{0};
+  std::vector<double> round_costs;
 
   std::vector<std::size_t> sink_offset;
   std::vector<double> rats;
@@ -258,9 +379,16 @@ Status Router::set_options(const RouterOptions& options) {
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  if (options.shards < 0) {
+    return Status::InvalidArgument("shards must be >= 0");
+  }
   Impl& impl = *impl_;
   const int old_threads = impl.options.threads;
   impl.options = options;
+  // No solves are in flight between runs, so re-sizing the shared
+  // dense-state pool is safe; the shard map lazily rebuilds when the shard
+  // count changed (route_round_sharded compares shard_map_shards).
+  impl.dense_budget.reset(options.oracle.cd.dense_state_budget_bytes);
   // Re-price the committed usage under the (possibly changed) congestion
   // parameters; usage itself — and hence the warm state — is preserved.
   impl.costs = CongestionCosts(impl.grid, options.congestion);

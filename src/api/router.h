@@ -13,6 +13,13 @@
 /// kCancelled with every committed batch intact (the in-flight batch is
 /// rolled back to its pre-rip-up routes), so result() is always a coherent
 /// snapshot. No exception crosses this boundary.
+///
+/// With RouterOptions::shards >= 1 rounds run spatially sharded instead of
+/// batched: prices freeze once per round, net shards (grid tiles, see
+/// route/sharding.h) route chunk-parallel against the snapshot, and all
+/// updates merge at the round barrier in net order — bit-identical results
+/// at any thread and shard count, and cancellation unwinds to the previous
+/// round boundary with no rollback at all.
 
 #pragma once
 

@@ -11,6 +11,7 @@
 #include "graph/dijkstra.h"
 #include "util/d_ary_heap.h"
 #include "util/logging.h"
+#include "util/prefetch.h"
 #include "util/rng.h"
 #include "util/sparse_map.h"
 #include "util/two_level_heap.h"
@@ -70,6 +71,13 @@ struct SearchState {
     return s.idx;
   }
 
+  /// Prefetch hint for a vertex about to be slot()-ed: the dense slot array
+  /// is the relax loop's only data-dependent load, so warming it while the
+  /// strip arithmetic runs hides most of the miss.
+  void prefetch_slot(VertexId v) const {
+    if (dense_) prefetch_write(&slots_[v]);
+  }
+
   /// Future-bound memo, versioned by the solver's merge generation. The
   /// bound h(comp, x) is a function of the component (fixed for a state's
   /// lifetime — states are only recycled across a generation bump) and the
@@ -120,17 +128,16 @@ class SearchStatePool {
   SearchStatePool() = default;
 
   /// Prepares the pool for one solve. Dense per-state index arrays cost
-  /// (t+1) * n slot entries across the pool's high-water mark; above the
-  /// caller's budget the states fall back to sparse indexes (O(touched)
-  /// memory, no future-bound memo). Reclaims every state allocated by
-  /// earlier solves — including states left un-released when a cancellation
-  /// unwound a solve mid-flight.
-  void configure(std::size_t num_vertices, std::size_t num_sinks, bool pooled,
-                 std::size_t dense_budget_bytes) {
+  /// (t+1) * n slot entries across the pool's high-water mark; the caller
+  /// decides `dense` from its budget (per-solve bytes or the shared
+  /// DenseStateBudget pool) — sparse states cost O(touched) memory and skip
+  /// the future-bound memo, with identical results. Reclaims every state
+  /// allocated by earlier solves — including states left un-released when a
+  /// cancellation unwound a solve mid-flight.
+  void configure(std::size_t num_vertices, bool pooled, bool dense) {
     n_ = num_vertices;
     pooled_ = pooled;
-    dense_ = (num_sinks + 1) * num_vertices <=
-             dense_budget_bytes / SearchState::slot_bytes();
+    dense_ = dense;
     free_.clear();
     free_.reserve(all_.size());
     for (const auto& st : all_) free_.push_back(st.get());
@@ -260,6 +267,10 @@ struct SolverScratch::Impl {
   std::vector<Search> searches;
   SparseMap<std::uint32_t> vertex_owner;
   SparseMap<std::uint32_t> edge_owner;
+  /// Dense pre-filter in front of edge_owner: bit e set iff edge_owner has
+  /// an entry for e. Most relaxed arcs are unowned, so the relax loop's
+  /// III-A discount check becomes one bit test instead of a hash probe.
+  std::vector<std::uint64_t> edge_owned_bits;
   std::vector<VertexId> path_verts;
   std::vector<EdgeId> path_edges;
   /// Future-bound memo generation, monotonic across the scratch's lifetime
@@ -283,6 +294,7 @@ class Solver {
         g_(*inst.graph),
         c_(*inst.cost),
         d_(*inst.delay),
+        plane_(inst.arc_costs),
         assembler_(*inst.graph),
         heap_(opts.queue),
         scratch_(scratch),
@@ -292,12 +304,23 @@ class Solver {
         searches_(scratch.searches),
         vertex_owner_(scratch.vertex_owner),
         edge_owner_(scratch.edge_owner),
+        edge_owned_bits_(scratch.edge_owned_bits),
         path_verts_(scratch.path_verts),
         path_edges_(scratch.path_edges),
         controls_(controls),
         rng_(opts.seed) {
     astar_on_ = opts_.use_astar && opts_.future_cost != nullptr;
     place_on_ = opts_.better_steiner_placement && opts_.future_cost != nullptr;
+    // SoA geometry plane for inline bound evaluation (bit-identical to the
+    // virtual path; only offered by oracles whose bounds are pure geometry).
+    if (astar_on_ || place_on_) pb_ = opts_.future_cost->plane_bounds();
+  }
+
+  ~Solver() {
+    // Shared-budget reservation unwinds with the solve, cancelled or not.
+    if (budget_reserved_ > 0) {
+      opts_.shared_dense_budget->release(budget_reserved_);
+    }
   }
 
   SolveResult run() {
@@ -345,13 +368,28 @@ class Solver {
     inst_.validate();
     const auto t = static_cast<std::uint32_t>(inst_.sinks.size());
 
+    // Dense-state footprint of this solve: t+1 live searches x n vertices.
+    // Against a shared budget pool the bytes are reserved up front (and
+    // released by ~Solver); standalone solves compare against the per-solve
+    // byte budget. Either way a denial degrades to sparse state with
+    // identical results.
+    const std::size_t dense_bytes =
+        (static_cast<std::size_t>(t) + 1) * g_.num_vertices() *
+        SearchState::slot_bytes();
+    bool dense;
+    if (opts_.shared_dense_budget != nullptr) {
+      dense = opts_.shared_dense_budget->try_reserve(dense_bytes);
+      if (dense) budget_reserved_ = dense_bytes;
+    } else {
+      dense = dense_bytes <= opts_.dense_state_budget_bytes;
+    }
+
     // Recycled scratch: O(1)-ish resets that keep every allocation. The
     // h-generation is monotonic across solves so recycled states cannot leak
     // memoized bounds; near the u32 wrap the retained states are dropped
     // wholesale (fresh states start at stamp 0), leaving 2^28 generations of
     // headroom — far more merges than any single solve performs.
-    state_pool_.configure(g_.num_vertices(), t, opts_.pool_search_state,
-                          opts_.dense_state_budget_bytes);
+    state_pool_.configure(g_.num_vertices(), opts_.pool_search_state, dense);
     if (scratch_.h_gen >= 0xf0000000u) {
       state_pool_.drop_all();
       scratch_.h_gen = 0;
@@ -362,6 +400,7 @@ class Solver {
     searches_.clear();
     vertex_owner_.clear();
     edge_owner_.clear();
+    edge_owned_bits_.assign((g_.num_edges() + 63) / 64, 0);
 
     assembler_.add_root(inst_.root);  // node 0
     comps_.resize(t + 1);
@@ -386,6 +425,8 @@ class Solver {
     vertex_owner_[inst_.root] = root_comp_;
 
     if (astar_on_) {
+      fc_min_unit_cost_ = opts_.future_cost->min_unit_cost();
+      fc_min_unit_delay_ = opts_.future_cost->min_unit_delay();
       nn_ = std::make_unique<L1NearestNeighbor>(nn_bucket_size());
       for (std::uint32_t i = 0; i <= t; ++i) {
         nn_->insert(i, xy_of(comps_[i].terminal));
@@ -409,7 +450,9 @@ class Solver {
     return std::max<std::int32_t>(2, static_cast<std::int32_t>(spacing));
   }
 
-  Point2 xy_of(VertexId v) const { return opts_.future_cost->xy(v); }
+  Point2 xy_of(VertexId v) const {
+    return pb_.valid() ? pb_.xy(v) : opts_.future_cost->xy(v);
+  }
 
   // ------------------------------------------------------------ ownership --
   std::uint32_t resolve(std::uint32_t comp) {
@@ -425,8 +468,15 @@ class Solver {
     return p == nullptr ? kNoComp : resolve(*p);
   }
 
+  bool edge_has_owner(EdgeId e) const {
+    return (edge_owned_bits_[e >> 6] >> (e & 63)) & 1u;
+  }
+
   bool edge_discounted(EdgeId e, std::uint32_t comp) {
     if (!opts_.discount_components) return false;
+    // Dense bit pre-filter: almost every relaxed arc is unowned, and the
+    // bitset answers that without probing the hash map.
+    if (!edge_has_owner(e)) return false;
     const std::uint32_t* p = edge_owner_.find(e);
     return p != nullptr && resolve(*p) == comp;
   }
@@ -460,21 +510,33 @@ class Solver {
     SearchState& st = *searches_[comp].state;
     double cached;
     if (st.h_cached(x, scratch_.h_gen, &cached)) return cached;
-    const FutureCostOracle& fc = *opts_.future_cost;
     const double w = comps_[comp].weight;
     const bool cost_ok = comps_[comp].singleton;  // discount feasibility
-
-    // Root target: exact vertex known, strongest bound (ALT-capable).
     const VertexId rootv = comps_[root_comp_].terminal;
-    double h = w * fc.delay_lb(x, rootv);
-    if (cost_ok) h += fc.cost_lb(x, rootv);
+
+    double h;
+    Point2 x_xy;
+    if (pb_.valid()) {
+      // SoA fast path: one position load per endpoint, bounds inline — no
+      // virtual dispatch, no div/mod coordinate decode. Same formulas, same
+      // evaluation order, bit-identical h.
+      x_xy = pb_.xy(x);
+      h = w * pb_.delay_lb(x, rootv);
+      if (cost_ok) h += pb_.cost_lb(x, rootv);
+    } else {
+      const FutureCostOracle& fc = *opts_.future_cost;
+      x_xy = fc.xy(x);
+      // Root target: exact vertex known, strongest bound (ALT-capable).
+      h = w * fc.delay_lb(x, rootv);
+      if (cost_ok) h += fc.cost_lb(x, rootv);
+    }
 
     // Nearest other terminal in the plane.
-    const auto near = nn_->nearest(xy_of(x), comp);
+    const auto near = nn_->nearest(x_xy, comp);
     if (near.found) {
       const double dist = static_cast<double>(near.distance);
-      double ht = dist * w * fc.min_unit_delay();
-      if (cost_ok) ht += dist * fc.min_unit_cost();
+      double ht = dist * w * fc_min_unit_delay_;
+      if (cost_ok) ht += dist * fc_min_unit_cost_;
       h = std::min(h, ht);
     }
     st.store_h(x, scratch_.h_gen, h);
@@ -522,36 +584,79 @@ class Solver {
     }
 
     const double w = comps_[u].weight;
-    const CostDelayLength metric{c_, d_, w};  // l_u(e) = c(e) + w d(e)
     const VertexId vtx = lab.vertex;
     const double base_g = lab.g;
     const std::uint32_t next_depth = lab.depth + 1;
-    for (const Graph::Arc& a : g_.arcs(vtx)) {
-      // Edges already owned by u are traversed at zero *cost* under the
-      // Section III-A discount; the delay part always applies.
-      const double ng = base_g + (edge_discounted(a.edge, u)
-                                      ? w * d_[a.edge]
-                                      : metric(a.edge));
-      std::uint32_t& slot = su.slot(a.to);
+
+    // Shared label update; `ng` must be computed as base_g + (c + w * d) so
+    // the plane and per-edge paths stay bit-identical.
+    const auto relax_to = [&](VertexId to, EdgeId e, double ng) {
+      std::uint32_t& slot = su.slot(to);
       if (slot == 0) {
         su.labels.push_back(
-            Label{a.to, ng, label_idx, a.edge, next_depth, false, false});
+            Label{to, ng, label_idx, e, next_depth, false, false});
         slot = static_cast<std::uint32_t>(su.labels.size());
-        heap_.push_or_decrease(u, (slot - 1) * 2,
-                               ng + future_bound(u, a.to));
+        heap_.push_or_decrease(u, (slot - 1) * 2, ng + future_bound(u, to));
         ++stats_.labels_relaxed;
       } else {
         Label& nl = su.labels[slot - 1];
         if (!nl.settled && ng < nl.g) {
           nl.g = ng;
           nl.parent_idx = label_idx;
-          nl.parent_edge = a.edge;
+          nl.parent_edge = e;
           nl.depth = next_depth;
-          heap_.push_or_decrease(u, (slot - 1) * 2,
-                                 ng + future_bound(u, a.to));
+          heap_.push_or_decrease(u, (slot - 1) * 2, ng + future_bound(u, to));
           ++stats_.labels_relaxed;
         }
       }
+    };
+
+    if (plane_ != nullptr) {
+      // Blocked SoA relaxation: lengths evaluate over contiguous per-arc
+      // strips (no loads depend on earlier iterations, so the strip pass
+      // vectorizes), head slots are prefetched while the arithmetic runs,
+      // and the III-A discount probe is hoisted out entirely for singleton
+      // components — which own no tree edges by construction.
+      const std::uint32_t lo = g_.arc_begin(vtx);
+      const std::uint32_t hi = g_.arc_end(vtx);
+      const VertexId* heads = g_.arc_heads().data();
+      const EdgeId* earr = g_.arc_edges().data();
+      for (std::uint32_t a = lo; a < hi; ++a) su.prefetch_slot(heads[a]);
+      const double* ac = plane_->arc_cost_data();
+      const double* ad = plane_->arc_delay_data();
+      const bool may_discount =
+          opts_.discount_components && !comps_[u].singleton;
+      constexpr std::uint32_t kStrip = 8;
+      double ng[kStrip];
+      for (std::uint32_t s = lo; s < hi; s += kStrip) {
+        const std::uint32_t cnt = std::min(kStrip, hi - s);
+        for (std::uint32_t k = 0; k < cnt; ++k) {
+          ng[k] = base_g + (ac[s + k] + w * ad[s + k]);
+        }
+        if (may_discount) {
+          for (std::uint32_t k = 0; k < cnt; ++k) {
+            // Edges already owned by u are traversed at zero *cost* under
+            // the Section III-A discount; the delay part always applies.
+            if (edge_discounted(earr[s + k], u)) {
+              ng[k] = base_g + w * ad[s + k];
+            }
+          }
+        }
+        for (std::uint32_t k = 0; k < cnt; ++k) {
+          relax_to(heads[s + k], earr[s + k], ng[k]);
+        }
+      }
+      return;
+    }
+
+    const CostDelayLength metric{c_, d_, w};  // l_u(e) = c(e) + w d(e)
+    for (const Graph::Arc& a : g_.arcs(vtx)) {
+      // Edges already owned by u are traversed at zero *cost* under the
+      // Section III-A discount; the delay part always applies.
+      const double ng = base_g + (edge_discounted(a.edge, u)
+                                      ? w * d_[a.edge]
+                                      : metric(a.edge));
+      relax_to(a.to, a.edge, ng);
     }
   }
 
@@ -675,7 +780,10 @@ class Solver {
     // (searches never expand through foreign components), so these writes
     // never clobber another component's registration.
     for (std::size_t i = istar; i <= j; ++i) vertex_owner_[pverts[i]] = s;
-    for (const EdgeId e : seg) edge_owner_[e] = s;
+    for (const EdgeId e : seg) {
+      edge_owner_[e] = s;
+      edge_owned_bits_[e >> 6] |= std::uint64_t{1} << (e & 63);
+    }
     dsu_parent_[u] = s;
     dsu_parent_[o] = s;
     comps_[u].active = false;
@@ -752,6 +860,8 @@ class Solver {
   const Graph& g_;
   const std::vector<double>& c_;
   const std::vector<double>& d_;
+  const ArcCostView* plane_{nullptr};  ///< SoA relax plane; null = per-edge
+  std::size_t budget_reserved_{0};     ///< bytes held in the shared pool
 
   TreeAssembler assembler_;
   SolverQueue heap_;
@@ -764,6 +874,7 @@ class Solver {
   std::vector<Search>& searches_;
   SparseMap<std::uint32_t>& vertex_owner_;
   SparseMap<std::uint32_t>& edge_owner_;
+  std::vector<std::uint64_t>& edge_owned_bits_;
   /// Pooled merge() scratch for path reconstruction.
   std::vector<VertexId>& path_verts_;
   std::vector<EdgeId>& path_edges_;
@@ -772,6 +883,9 @@ class Solver {
   Rng rng_;
   bool astar_on_{false};
   bool place_on_{false};
+  PlaneBoundData pb_;  ///< SoA geometry plane; invalid -> virtual oracle
+  double fc_min_unit_cost_{0.0};   ///< cached oracle minima (loop constants)
+  double fc_min_unit_delay_{0.0};
   std::unique_ptr<L1NearestNeighbor> nn_;
 
   std::uint32_t root_comp_{0};

@@ -30,6 +30,62 @@
 
 namespace cdst {
 
+/// Shared memory budget for the dense per-search vertex index arrays,
+/// drawn on by every solve that runs against it. One atomic pool serves all
+/// concurrent solve lanes of a session (CdSolver::solve_batch, the router's
+/// per-net oracles): each solve reserves its dense-state footprint up front
+/// and releases it when the solve unwinds, so N parallel lanes can never
+/// commit N times the budget the way independent per-lane budgeting did.
+/// A failed reservation falls back to sparse search state — slower, but
+/// bit-identical results (dense/sparse state never changes any output).
+class DenseStateBudget {
+ public:
+  explicit DenseStateBudget(std::size_t bytes)
+      : remaining_(static_cast<std::int64_t>(bytes)) {}
+
+  // Movable so session objects holding one stay movable; only valid while
+  // no reservation is in flight (sessions never move mid-batch).
+  DenseStateBudget(DenseStateBudget&& other) noexcept
+      : remaining_(other.remaining_.load(std::memory_order_relaxed)) {}
+  DenseStateBudget& operator=(DenseStateBudget&& other) noexcept {
+    remaining_.store(other.remaining_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Reserves `bytes` if the pool still holds that much; false otherwise.
+  bool try_reserve(std::size_t bytes) {
+    const auto want = static_cast<std::int64_t>(bytes);
+    std::int64_t cur = remaining_.load(std::memory_order_relaxed);
+    while (cur >= want) {
+      if (remaining_.compare_exchange_weak(cur, cur - want,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release(std::size_t bytes) {
+    remaining_.fetch_add(static_cast<std::int64_t>(bytes),
+                         std::memory_order_relaxed);
+  }
+
+  /// Re-initializes the pool size. Only valid while no reservation is in
+  /// flight (the session APIs call it strictly between runs).
+  void reset(std::size_t bytes) {
+    remaining_.store(static_cast<std::int64_t>(bytes),
+                     std::memory_order_relaxed);
+  }
+
+  std::int64_t remaining_bytes() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> remaining_;
+};
+
 /// Priority-queue organization for the simultaneous searches.
 enum class QueueKind : std::uint8_t {
   /// Section III-B: one binary heap per active search plus a top-level heap
@@ -66,6 +122,14 @@ struct SolverOptions {
   /// the future-bound memo, but identical results (the windowed router
   /// oracles always fit; huge standalone instances may not).
   std::size_t dense_state_budget_bytes{512u << 20};
+  /// When set, dense-state memory is reserved from this shared atomic pool
+  /// instead of each solve budgeting independently against
+  /// dense_state_budget_bytes — the session APIs point every concurrent
+  /// batch lane at one pool sized from that member. The reservation is
+  /// released when the solve finishes (or unwinds). Borrowed; must outlive
+  /// the solve. Whether a solve lands dense or sparse never changes its
+  /// result, so racing lanes stay deterministic.
+  DenseStateBudget* shared_dense_budget{nullptr};
 
   /// III-B: heap organization of the label queues.
   QueueKind queue{QueueKind::kTwoLevel};

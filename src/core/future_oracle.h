@@ -13,6 +13,43 @@
 
 namespace cdst {
 
+/// Structure-of-arrays form of a purely geometric bound oracle: a dense
+/// per-vertex position array plus the four per-unit minima the L1 bound
+/// formulas combine. When an oracle publishes this (see
+/// FutureCostOracle::plane_bounds), the solver's inner loop evaluates
+/// cost/delay lower bounds inline — one position load and a few fused
+/// multiply-adds — instead of a virtual call that re-derives coordinates
+/// with div/mod per query. Bounds computed either way are bit-identical;
+/// oracles whose bounds are *not* pure geometry (e.g. landmark-strengthened
+/// cost bounds) return an invalid view and stay on the virtual path.
+struct PlaneBoundData {
+  const Point3* positions{nullptr};  ///< dense, indexed by solver VertexId
+  double min_unit_cost{0.0};
+  double min_unit_delay{0.0};
+  double min_via_cost{0.0};
+  double min_via_delay{0.0};
+
+  bool valid() const { return positions != nullptr; }
+
+  /// Exactly the geometric cost_lb formula of the grid oracles.
+  double cost_lb(VertexId a, VertexId b) const {
+    const Point3& pa = positions[a];
+    const Point3& pb = positions[b];
+    return static_cast<double>(l1_distance(pa, pb)) * min_unit_cost +
+           std::abs(pa.z - pb.z) * min_via_cost;
+  }
+
+  /// Exactly the geometric delay_lb formula of the grid oracles.
+  double delay_lb(VertexId a, VertexId b) const {
+    const Point3& pa = positions[a];
+    const Point3& pb = positions[b];
+    return static_cast<double>(l1_distance(pa, pb)) * min_unit_delay +
+           std::abs(pa.z - pb.z) * min_via_delay;
+  }
+
+  Point2 xy(VertexId v) const { return positions[v].xy(); }
+};
+
 class FutureCostOracle {
  public:
   virtual ~FutureCostOracle() = default;
@@ -31,6 +68,11 @@ class FutureCostOracle {
 
   /// Fastest delay per plane unit (any layer/wire type).
   virtual double min_unit_delay() const = 0;
+
+  /// SoA view of the oracle's geometry, when its bounds are pure geometry
+  /// (see PlaneBoundData). Default: none — callers fall back to the virtual
+  /// bound methods above.
+  virtual PlaneBoundData plane_bounds() const { return {}; }
 };
 
 }  // namespace cdst

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "graph/arc_cost_view.h"
 #include "graph/graph.h"
 #include "util/assert.h"
 
@@ -28,6 +29,12 @@ struct CostDistanceInstance {
   const Graph* graph{nullptr};
   const std::vector<double>* cost{nullptr};   ///< c(e), congestion cost
   const std::vector<double>* delay{nullptr};  ///< d(e), linear delay
+  /// Optional SoA arc plane of the same (cost, delay) attributes over the
+  /// same graph. When set, the solver's relax loop scans it with the
+  /// blocked, branch-light kernel; when null it gathers per-edge. Results
+  /// are bit-identical either way. Windows provide this for free; standalone
+  /// callers can build one with ArcCostView(graph, cost, delay).
+  const ArcCostView* arc_costs{nullptr};
   VertexId root{kInvalidVertex};
   std::vector<Terminal> sinks;
   double dbif{0.0};  ///< total bifurcation delay penalty per branching
@@ -45,6 +52,11 @@ struct CostDistanceInstance {
     CDST_CHECK(graph != nullptr && cost != nullptr && delay != nullptr);
     CDST_CHECK(cost->size() == graph->num_edges());
     CDST_CHECK(delay->size() == graph->num_edges());
+    if (arc_costs != nullptr) {
+      CDST_CHECK_MSG(arc_costs->graph() == graph,
+                     "arc_costs plane built over a different graph");
+      CDST_CHECK(arc_costs->edge_cost().size() == graph->num_edges());
+    }
     CDST_CHECK(root < graph->num_vertices());
     CDST_CHECK_MSG(!sinks.empty(), "instance needs at least one sink");
     CDST_CHECK(eta >= 0.0 && eta <= 0.5);

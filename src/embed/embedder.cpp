@@ -13,9 +13,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 EmbedResult embed_topology(const PlaneTopology& topo,
-                           const CostDistanceInstance& instance) {
+                           const CostDistanceInstance& instance,
+                           const SolveControls* controls) {
   instance.validate();
   topo.validate(instance.sinks.size());
+  const std::atomic<bool>* cancel =
+      controls != nullptr ? controls->cancel : nullptr;
+  const auto poll_cancel = [cancel] {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw SolveCancelled();
+    }
+  };
+  poll_cancel();
   const Graph& g = *instance.graph;
   const std::vector<double>& c = *instance.cost;
   const std::vector<double>& d = *instance.delay;
@@ -42,6 +51,9 @@ EmbedResult embed_topology(const PlaneTopology& topo,
   double root_value = kInf;
 
   for (std::size_t i = nn; i-- > 0;) {
+    // One full-graph Dijkstra per node makes the node loop the natural
+    // cancellation granularity (bounded latency: one propagation).
+    poll_cancel();
     // F_i = sum of child propagations, constrained to the pin vertex if i is
     // a terminal.
     std::vector<double> fi;
@@ -67,8 +79,14 @@ EmbedResult embed_topology(const PlaneTopology& topo,
       root_value = ch[i].empty() ? kInf : fi[instance.root];
       break;
     }
-    // Propagate upward under the weighted metric c + W_i * d.
-    up[i] = dijkstra_from_potentials(g, fi, CostDelayLength{c, d, subw[i]});
+    // Propagate upward under the weighted metric c + W_i * d, scanning the
+    // instance's SoA arc plane when one is attached (bit-identical to the
+    // per-edge gather path).
+    const CostDelayLength metric =
+        instance.arc_costs != nullptr
+            ? CostDelayLength(*instance.arc_costs, subw[i])
+            : CostDelayLength{c, d, subw[i]};
+    up[i] = dijkstra_from_potentials(g, fi, metric);
   }
   CDST_CHECK_MSG(root_value < kInf,
                  "topology cannot be embedded: graph disconnected");

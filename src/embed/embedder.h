@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include "core/cost_distance.h"
 #include "core/instance.h"
 #include "core/objective.h"
 #include "core/steiner_tree.h"
@@ -30,10 +31,16 @@ struct EmbedResult {
 /// into instance.graph w.r.t. objective (1)+(3). The topology structure is
 /// fixed; Steiner node positions float freely in the graph.
 ///
+/// `controls` (optional) wires in cooperative cancellation: the DP polls the
+/// flag at every node's propagation step and unwinds with SolveCancelled —
+/// the same contract as the cost-distance solver, so the session APIs map
+/// embedded-oracle (L1/SL/PD) cancellations onto kCancelled too.
+///
 /// Note: with a poorly matched topology the optimal embedding may route two
 /// topology edges over the same graph edge; the objective then pays c(e)
 /// per use (multiset semantics), exactly what the router would pay in usage.
 EmbedResult embed_topology(const PlaneTopology& topo,
-                           const CostDistanceInstance& instance);
+                           const CostDistanceInstance& instance,
+                           const SolveControls* controls = nullptr);
 
 }  // namespace cdst

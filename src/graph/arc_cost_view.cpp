@@ -1,0 +1,56 @@
+#include "graph/arc_cost_view.h"
+
+#include "util/assert.h"
+
+namespace cdst {
+
+void ArcCostView::build_arcs(const Graph& g,
+                             std::span<const double> edge_cost,
+                             std::span<const double> edge_delay,
+                             std::span<const std::uint8_t> edge_layer) {
+  CDST_CHECK(edge_cost.size() == g.num_edges());
+  CDST_CHECK(edge_delay.size() == g.num_edges());
+  CDST_CHECK(edge_layer.empty() || edge_layer.size() == g.num_edges());
+  graph_ = &g;
+
+  const std::span<const EdgeId> arc_edges = g.arc_edges();
+  const std::size_t na = arc_edges.size();
+  arc_cost_.resize(na);
+  arc_delay_.resize(na);
+  for (std::size_t a = 0; a < na; ++a) {
+    const EdgeId e = arc_edges[a];
+    arc_cost_[a] = edge_cost[e];
+    arc_delay_[a] = edge_delay[e];
+  }
+  if (edge_layer.empty()) {
+    arc_layer_.clear();
+  } else {
+    arc_layer_.resize(na);
+    for (std::size_t a = 0; a < na; ++a) {
+      arc_layer_[a] = edge_layer[arc_edges[a]];
+    }
+  }
+}
+
+void ArcCostView::assign(const Graph& g, std::span<const double> edge_cost,
+                         std::span<const double> edge_delay,
+                         std::span<const std::uint8_t> edge_layer) {
+  build_arcs(g, edge_cost, edge_delay, edge_layer);
+  edge_cost_store_.assign(edge_cost.begin(), edge_cost.end());
+  edge_delay_store_.assign(edge_delay.begin(), edge_delay.end());
+  edge_cost_view_ = edge_cost_store_;
+  edge_delay_view_ = edge_delay_store_;
+}
+
+void ArcCostView::assign_borrowed(const Graph& g,
+                                  std::span<const double> edge_cost,
+                                  std::span<const double> edge_delay,
+                                  std::span<const std::uint8_t> edge_layer) {
+  build_arcs(g, edge_cost, edge_delay, edge_layer);
+  edge_cost_store_.clear();
+  edge_delay_store_.clear();
+  edge_cost_view_ = edge_cost;
+  edge_delay_view_ = edge_delay;
+}
+
+}  // namespace cdst

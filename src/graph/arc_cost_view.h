@@ -1,0 +1,91 @@
+/// \file arc_cost_view.h
+/// Structure-of-arrays edge-attribute plane keyed by arc index.
+///
+/// Search clients historically reached edge attributes through per-edge
+/// functor indirection (cost[a.edge], delay[a.edge]): two dependent gathers
+/// per relaxed arc that the compiler can neither vectorize nor prefetch. An
+/// ArcCostView expands the per-edge attributes once into per-*arc* arrays
+/// aligned with Graph's SoA arc plane (graph/graph.h): the arcs of vertex v
+/// occupy the contiguous index range [arc_begin(v), arc_end(v)) in every
+/// array, so a relax loop reads cost/delay/layer as sequential strips — the
+/// shape the blocked, branch-light kernels in graph/dijkstra.h and
+/// core/cost_distance.cpp scan.
+///
+/// The view is immutable between assign() calls and always owns the
+/// derived per-arc arrays. The per-edge inputs are copied by assign() (the
+/// safe default for callers whose source arrays may die first) or borrowed
+/// by assign_borrowed() — the right mode for producers whose source
+/// vectors share the view's lifetime (RoutingGrid's base plane,
+/// RoutingWindow's priced plane: a heap-allocated vector's buffer survives
+/// moves of the owner, so the borrowed spans stay valid). Producers:
+/// RoutingGrid finalizes a base-cost plane with its graph; RoutingWindow
+/// builds one per window over current congestion prices; the sharded
+/// router rebuilds a window plane per round from the frozen price
+/// snapshot. assign() retains capacity, so per-round rebuilds stop
+/// churning the allocator.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cdst {
+
+class ArcCostView {
+ public:
+  ArcCostView() = default;
+  ArcCostView(const Graph& g, std::span<const double> edge_cost,
+              std::span<const double> edge_delay,
+              std::span<const std::uint8_t> edge_layer = {}) {
+    assign(g, edge_cost, edge_delay, edge_layer);
+  }
+
+  /// (Re)builds the plane over g from per-edge attributes. `edge_layer` is
+  /// optional (grids key arcs by layer; generic graphs have none). The graph
+  /// is borrowed and must outlive the view; the attribute arrays are copied.
+  void assign(const Graph& g, std::span<const double> edge_cost,
+              std::span<const double> edge_delay,
+              std::span<const std::uint8_t> edge_layer = {});
+
+  /// Like assign(), but the per-edge cost/delay arrays are borrowed, not
+  /// copied — for producers whose source vectors live exactly as long as
+  /// the view (per-arc strips are still owned/derived).
+  void assign_borrowed(const Graph& g, std::span<const double> edge_cost,
+                       std::span<const double> edge_delay,
+                       std::span<const std::uint8_t> edge_layer = {});
+
+  bool empty() const { return graph_ == nullptr; }
+  const Graph* graph() const { return graph_; }
+
+  // Per-arc attribute strips, index-aligned with Graph::arc_heads().
+  std::span<const double> arc_cost() const { return arc_cost_; }
+  std::span<const double> arc_delay() const { return arc_delay_; }
+  std::span<const std::uint8_t> arc_layer() const { return arc_layer_; }
+  const double* arc_cost_data() const { return arc_cost_.data(); }
+  const double* arc_delay_data() const { return arc_delay_.data(); }
+
+  // The per-edge inputs (what legacy EdgeId-keyed code evaluates;
+  // bit-identical to what the per-arc strips were derived from). Owned
+  // copies after assign(), borrowed views after assign_borrowed().
+  std::span<const double> edge_cost() const { return edge_cost_view_; }
+  std::span<const double> edge_delay() const { return edge_delay_view_; }
+
+ private:
+  void build_arcs(const Graph& g, std::span<const double> edge_cost,
+                  std::span<const double> edge_delay,
+                  std::span<const std::uint8_t> edge_layer);
+
+  const Graph* graph_{nullptr};
+  std::vector<double> arc_cost_;
+  std::vector<double> arc_delay_;
+  std::vector<std::uint8_t> arc_layer_;
+  std::vector<double> edge_cost_store_;  ///< empty in borrowed mode
+  std::vector<double> edge_delay_store_;
+  std::span<const double> edge_cost_view_;
+  std::span<const double> edge_delay_view_;
+};
+
+}  // namespace cdst

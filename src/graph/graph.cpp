@@ -24,6 +24,15 @@ void Graph::build(const GraphBuilder& b) {
     arcs_[cursor[tails_[e]]++] = Arc{id, heads_[e]};
     arcs_[cursor[heads_[e]]++] = Arc{id, tails_[e]};
   }
+
+  // The SoA arc plane: same arc order, split into contiguous per-attribute
+  // arrays so search kernels scan strips instead of striding over Arc pairs.
+  arc_heads_.resize(arcs_.size());
+  arc_edges_.resize(arcs_.size());
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    arc_heads_[a] = arcs_[a].to;
+    arc_edges_[a] = arcs_[a].edge;
+  }
 }
 
 }  // namespace cdst

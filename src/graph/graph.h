@@ -53,6 +53,14 @@ class GraphBuilder {
 /// Immutable CSR graph. Each undirected edge appears in both endpoint
 /// adjacency lists; adjacency entries pair the edge id with the opposite
 /// endpoint.
+///
+/// Arcs are addressable two ways: the classic array-of-structs `arcs(v)`
+/// span, and — finalized at the same time — a structure-of-arrays plane
+/// (`arc_heads()` / `arc_edges()` indexed by *arc index*, with the per-vertex
+/// range given by `arc_begin()`/`arc_end()`). The SoA plane is what the
+/// blocked search kernels scan: per-arc attribute arrays (ArcCostView) line
+/// up with it index-for-index, so a relax loop reads contiguous strips
+/// instead of chasing per-edge indirections.
 class Graph {
  public:
   struct Arc {
@@ -93,6 +101,26 @@ class Graph {
     return offsets_[v + 1] - offsets_[v];
   }
 
+  /// Total number of arcs (twice the edge count).
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// Arc-index range of v in the SoA plane: arcs of v occupy
+  /// [arc_begin(v), arc_end(v)) of arc_heads()/arc_edges() and of any
+  /// per-arc attribute array built over this graph.
+  std::uint32_t arc_begin(VertexId v) const {
+    CDST_ASSERT(v < num_vertices());
+    return static_cast<std::uint32_t>(offsets_[v]);
+  }
+  std::uint32_t arc_end(VertexId v) const {
+    CDST_ASSERT(v < num_vertices());
+    return static_cast<std::uint32_t>(offsets_[v + 1]);
+  }
+
+  /// Head vertex per arc index (the SoA twin of arcs()[...].to).
+  std::span<const VertexId> arc_heads() const { return arc_heads_; }
+  /// Edge id per arc index (the SoA twin of arcs()[...].edge).
+  std::span<const EdgeId> arc_edges() const { return arc_edges_; }
+
  private:
   void build(const GraphBuilder& b);
 
@@ -100,6 +128,8 @@ class Graph {
   std::vector<VertexId> heads_;
   std::vector<std::size_t> offsets_;
   std::vector<Arc> arcs_;
+  std::vector<VertexId> arc_heads_;  ///< SoA plane, same order as arcs_
+  std::vector<EdgeId> arc_edges_;
 };
 
 }  // namespace cdst

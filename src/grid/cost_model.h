@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -42,8 +43,23 @@ class CongestionCosts {
     return info.unit_cost * std::exp(log_base_ * util * params_.smoothing);
   }
 
+  /// Price of e with `excluded_usage` capacity units of its resource's usage
+  /// discounted (floored at zero). The sharded router prices each net
+  /// against the frozen round snapshot *minus the net's own committed
+  /// usage* — the snapshot-world equivalent of ripping the net up first.
+  double edge_cost_excluding(EdgeId e, double excluded_usage) const {
+    const RoutingGrid::EdgeInfo& info = grid_->edge_info(e);
+    const double use = std::max(0.0, usage_[info.resource] - excluded_usage);
+    const double util = use / capacity_[info.resource];
+    return info.unit_cost * std::exp(log_base_ * util * params_.smoothing);
+  }
+
   /// Snapshot of edge costs for all edges (the c vector handed to solvers).
   std::vector<double> edge_cost_vector() const;
+
+  /// Like edge_cost_vector(), but fills a caller-owned vector (capacity
+  /// recycled round over round by the sharded router's price snapshot).
+  void fill_edge_costs(std::vector<double>& out) const;
 
   /// Commits (sign=+1) or rips up (sign=-1) the usage of a set of edges.
   void add_usage(const std::vector<EdgeId>& edges, double sign);

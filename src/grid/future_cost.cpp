@@ -13,9 +13,11 @@ FutureCost::FutureCost(const RoutingGrid& grid, std::size_t num_landmarks,
     // Batch of 4 per greedy round: enough table-build parallelism for the
     // shared pool while keeping the avoid-farthest selection quality. The
     // batch is a constant (never derived from the pool size) so landmark
-    // picks are identical with any pool, including none.
+    // picks are identical with any pool, including none. The length functor
+    // rides the grid's SoA base-cost plane, so the k full-graph Dijkstras
+    // relax over contiguous arc strips.
     landmarks_ = std::make_unique<Landmarks>(
-        grid.graph(), ArrayLength{grid.base_costs()}, num_landmarks, pool,
+        grid.graph(), ArrayLength(grid.arc_costs()), num_landmarks, pool,
         /*batch=*/4);
   }
 }

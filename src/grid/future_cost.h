@@ -60,6 +60,15 @@ class FutureCost : public FutureCostOracle {
     return cost_lb(a, b) + weight * delay_lb(a, b);
   }
 
+  /// SoA geometry plane for inline bound evaluation — only when the bounds
+  /// really are pure geometry: with ALT landmarks the cost bound is
+  /// max(geometric, landmark) and must go through the virtual path.
+  PlaneBoundData plane_bounds() const override {
+    if (landmarks_ != nullptr) return {};
+    return PlaneBoundData{grid_->positions().data(), min_unit_cost_,
+                          min_unit_delay_, min_via_cost_, min_via_delay_};
+  }
+
   const RoutingGrid& grid() const { return *grid_; }
   bool has_landmarks() const { return landmarks_ != nullptr; }
 

@@ -102,6 +102,20 @@ void RoutingGrid::build() {
       min_unit_delay_ = std::min(min_unit_delay_, delays_[e]);
     }
   }
+
+  // Finalize the static SoA attribute plane alongside the graph.
+  std::vector<std::uint8_t> layer_of(edge_info_.size());
+  for (std::size_t e = 0; e < edge_info_.size(); ++e) {
+    layer_of[e] = edge_info_[e].layer;
+  }
+  // base_costs_/delays_ are members sharing the view's lifetime (vector
+  // buffers survive grid moves), so the per-edge arrays are borrowed.
+  arc_costs_.assign_borrowed(graph_, base_costs_, delays_, layer_of);
+
+  positions_.resize(graph_.num_vertices());
+  for (VertexId v = 0; v < positions_.size(); ++v) {
+    positions_[v] = position(v);
+  }
 }
 
 std::vector<LayerSpec> make_default_layer_stack(int num_layers,

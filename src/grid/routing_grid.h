@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "graph/arc_cost_view.h"
 #include "graph/graph.h"
 #include "grid/layer.h"
 
@@ -64,6 +65,11 @@ class RoutingGrid {
     return Point3{x, y, z};
   }
 
+  /// Dense per-vertex positions, finalized with the graph: the SoA geometry
+  /// plane behind the future-cost bounds (one load instead of the div/mod
+  /// decode of position() in bound-evaluation hot loops).
+  const std::vector<Point3>& positions() const { return positions_; }
+
   const EdgeInfo& edge_info(EdgeId e) const {
     CDST_ASSERT(e < edge_info_.size());
     return edge_info_[e];
@@ -80,6 +86,13 @@ class RoutingGrid {
 
   /// Uncongested unit costs indexed by EdgeId (lower bound of any price).
   const std::vector<double>& base_costs() const { return base_costs_; }
+
+  /// Structure-of-arrays plane of the static edge attributes (base cost,
+  /// delay, layer) keyed by arc index — finalized once with the graph. The
+  /// uncongested metric the landmark preprocessing and admissible-bound
+  /// machinery scan; congestion-priced planes live on windows (and, sharded,
+  /// on the router's round snapshot).
+  const ArcCostView& arc_costs() const { return arc_costs_; }
 
   /// Cheapest congestion cost per gcell over all layers and wire types
   /// (admissible A* ingredient).
@@ -99,6 +112,8 @@ class RoutingGrid {
   ViaSpec via_;
 
   Graph graph_;
+  ArcCostView arc_costs_;
+  std::vector<Point3> positions_;
   std::vector<EdgeInfo> edge_info_;
   std::vector<double> delays_;
   std::vector<double> base_costs_;

@@ -5,7 +5,8 @@
 namespace cdst {
 
 RoutingWindow::RoutingWindow(const RoutingGrid& grid,
-                             const CongestionCosts& costs, Rect box)
+                             const CongestionCosts& costs, Rect box,
+                             const RoundPricing* pricing)
     : grid_(&grid) {
   // Clip to the grid.
   box.xlo = std::max(box.xlo, 0);
@@ -20,6 +21,7 @@ RoutingWindow::RoutingWindow(const RoutingGrid& grid,
   const std::int32_t nz = grid.nz();
   const std::size_t wn = static_cast<std::size_t>(wx_) * wy_ * nz;
   to_grid_vertex_.resize(wn);
+  positions_.resize(wn);
 
   auto wvertex = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
     return static_cast<VertexId>(
@@ -31,7 +33,9 @@ RoutingWindow::RoutingWindow(const RoutingGrid& grid,
   for (std::int32_t z = 0; z < nz; ++z) {
     for (std::int32_t y = box_.ylo; y <= box_.yhi; ++y) {
       for (std::int32_t x = box_.xlo; x <= box_.xhi; ++x) {
-        to_grid_vertex_[wvertex(x, y, z)] = grid.vertex_at(x, y, z);
+        const VertexId wv = wvertex(x, y, z);
+        to_grid_vertex_[wv] = grid.vertex_at(x, y, z);
+        positions_[wv] = Point3{x, y, z};
       }
     }
   }
@@ -57,11 +61,30 @@ RoutingWindow::RoutingWindow(const RoutingGrid& grid,
   const std::size_t wm = to_grid_edge_.size();
   costs_.resize(wm);
   delays_.resize(wm);
+  std::vector<std::uint8_t> layer_of(wm);
   const std::vector<double>& gd = grid.edge_delays();
   for (std::size_t e = 0; e < wm; ++e) {
-    costs_[e] = costs.edge_cost(to_grid_edge_[e]);
-    delays_[e] = gd[to_grid_edge_[e]];
+    const EdgeId ge = to_grid_edge_[e];
+    if (pricing == nullptr) {
+      costs_[e] = costs.edge_cost(ge);
+    } else {
+      // Frozen round snapshot: a gather instead of an exp() per edge. Only
+      // the net's own resources re-price, with its committed usage excluded.
+      const double* excluded =
+          pricing->excluded_usage != nullptr
+              ? pricing->excluded_usage->find(grid.edge_info(ge).resource)
+              : nullptr;
+      costs_[e] = excluded == nullptr
+                      ? pricing->edge_costs[ge]
+                      : costs.edge_cost_excluding(ge, *excluded);
+    }
+    delays_[e] = gd[ge];
+    layer_of[e] = grid.edge_info(ge).layer;
   }
+  // Borrowed per-edge spans: costs_/delays_ are members with exactly the
+  // view's lifetime (and vector buffers survive window moves), so only the
+  // derived per-arc strips are materialized.
+  arc_costs_.assign_borrowed(graph_, costs_, delays_, layer_of);
 }
 
 VertexId RoutingWindow::from_grid_vertex(VertexId gv) const {

@@ -14,18 +14,33 @@
 
 #include "core/future_oracle.h"
 #include "geom/rect.h"
+#include "graph/arc_cost_view.h"
 #include "grid/cost_model.h"
 #include "grid/routing_grid.h"
 #include "util/sparse_map.h"
 
 namespace cdst {
 
+/// Frozen pricing of one sharded router round (route/sharding.h): every net
+/// of the round prices its window from the same per-grid-edge snapshot,
+/// except for the resources its own committed route occupies, which are
+/// re-priced with that usage excluded (the sharded equivalent of ripping the
+/// net up before pricing). Both members are borrowed for the window build.
+struct RoundPricing {
+  std::span<const double> edge_costs;  ///< snapshot, grid-EdgeId indexed
+  /// Resource -> capacity units of the net's own committed usage to exclude;
+  /// null when the net has no committed route.
+  const SparseMap<double>* excluded_usage{nullptr};
+};
+
 class RoutingWindow {
  public:
   /// Builds the subgraph of `grid` over gcells in `box` (clipped to the
   /// grid), all layers included, with current congestion prices as costs.
+  /// `pricing` (optional) prices from a frozen round snapshot instead of the
+  /// live CongestionCosts state — see RoundPricing.
   RoutingWindow(const RoutingGrid& grid, const CongestionCosts& costs,
-                Rect box);
+                Rect box, const RoundPricing* pricing = nullptr);
 
   const Graph& graph() const { return graph_; }
   const RoutingGrid& grid() const { return *grid_; }
@@ -36,8 +51,16 @@ class RoutingWindow {
   /// Static delays of window edges (the instance's d vector).
   const std::vector<double>& edge_delays() const { return delays_; }
 
+  /// SoA plane of the window's priced attributes, keyed by window arc index
+  /// (what the solver's blocked relax loop scans).
+  const ArcCostView& arc_costs() const { return arc_costs_; }
+
   VertexId to_grid_vertex(VertexId wv) const { return to_grid_vertex_[wv]; }
   EdgeId to_grid_edge(EdgeId we) const { return to_grid_edge_[we]; }
+
+  /// Dense per-window-vertex positions in grid coordinates (the SoA
+  /// geometry plane behind WindowFutureCost's bounds).
+  const std::vector<Point3>& positions() const { return positions_; }
 
   /// Window vertex for a grid vertex; kInvalidVertex if outside the box.
   VertexId from_grid_vertex(VertexId gv) const;
@@ -49,7 +72,9 @@ class RoutingWindow {
   const RoutingGrid* grid_;
   Rect box_;
   Graph graph_;
+  ArcCostView arc_costs_;
   std::vector<VertexId> to_grid_vertex_;
+  std::vector<Point3> positions_;
   std::vector<EdgeId> to_grid_edge_;
   std::vector<double> costs_;
   std::vector<double> delays_;
@@ -82,6 +107,15 @@ class WindowFutureCost final : public FutureCostOracle {
   double min_unit_cost() const override { return w_->grid().min_unit_cost(); }
   double min_unit_delay() const override {
     return w_->grid().min_unit_delay();
+  }
+
+  /// Window bounds are always pure geometry (no landmarks on windows), so
+  /// the SoA plane is unconditional.
+  PlaneBoundData plane_bounds() const override {
+    return PlaneBoundData{w_->positions().data(), w_->grid().min_unit_cost(),
+                          w_->grid().min_unit_delay(),
+                          w_->grid().min_via_cost(),
+                          w_->grid().min_via_delay()};
   }
 
  private:

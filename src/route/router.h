@@ -43,8 +43,21 @@ struct RouterOptions {
   /// Nets per rip-up/re-route batch (larger batches = more parallelism but
   /// prices within a batch do not see each other's usage). The batch
   /// structure applies independently of `threads`, which is what makes
-  /// results thread-count invariant.
+  /// results thread-count invariant. Ignored by sharded rounds (below).
   int batch_size{48};
+  /// Spatial sharding of the rip-up & re-route rounds. 0 (default) keeps the
+  /// legacy batched round discipline above. With shards >= 1 each round
+  /// (a) freezes the congestion prices once into a per-edge snapshot,
+  /// (b) partitions the nets into `shards` grid tiles by bounding box
+  /// (route/sharding.h), (c) routes shards chunk-parallel on the worker
+  /// pool — every net priced against the frozen snapshot minus its own
+  /// committed usage — and (d) merges all route/price updates at the round
+  /// barrier in net order. Results are bit-identical at ANY thread and
+  /// shard count (shards only schedule work); they differ from the legacy
+  /// batched discipline, whose batches see earlier batches' usage
+  /// mid-round. Snapshot pricing also replaces the per-window exp() pricing
+  /// with a gather, so sharded rounds are faster even single-threaded.
+  int shards{0};
 };
 
 /// Snapshot of a routing state: final (route_chip) or current

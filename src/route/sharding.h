@@ -1,0 +1,68 @@
+/// \file sharding.h
+/// Deterministic spatial sharding of a netlist over the routing grid.
+///
+/// A sharded rip-up & re-route round (RouterOptions::shards >= 1) tiles the
+/// gcell plane into a lattice of near-square tiles — one shard per tile —
+/// and assigns every net to the tile containing its bounding-box center.
+/// Shards are the router's unit of chunk-parallel work: nets of one shard
+/// route sequentially on one worker against the round's frozen price
+/// snapshot, so neighbouring nets (which share cache-resident grid regions)
+/// stay on one core, while distant shards fan out across the ThreadPool.
+///
+/// The assignment is a pure function of (grid extent, netlist, shard
+/// count): deterministic, a partition of the netlist (every net in exactly
+/// one shard, ascending net order within a shard — asserted by the property
+/// tests), and independent of thread count. Because sharded rounds price
+/// every net against the same frozen snapshot and merge updates in net
+/// order at the round barrier, routing *results* are additionally
+/// independent of the shard count itself (see api/router.h).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/routing_grid.h"
+#include "route/net.h"
+
+namespace cdst {
+
+/// The tile lattice of one shard configuration.
+struct ShardGrid {
+  std::int32_t tiles_x{1};
+  std::int32_t tiles_y{1};
+  std::int32_t nx{1};  ///< gcell extent the lattice covers
+  std::int32_t ny{1};
+
+  int num_shards() const { return tiles_x * tiles_y; }
+
+  /// Tile (= shard) index of a plane point, clamped into the lattice.
+  int shard_of(Point2 p) const;
+};
+
+/// Chooses a tiles_x x tiles_y factorization of `shards` whose tile aspect
+/// best matches the grid's, so tiles stay near-square (compact windows,
+/// balanced occupancy). Deterministic; exact: tiles_x * tiles_y == shards.
+ShardGrid make_shard_grid(const RoutingGrid& grid, int shards);
+
+/// Net -> shard partition of a netlist.
+struct ShardMap {
+  ShardGrid tiles;
+  /// Net indices per shard, ascending within each shard. Every net of the
+  /// netlist appears in exactly one shard (including sink-less nets, which
+  /// the router later skips).
+  std::vector<std::vector<std::uint32_t>> nets;
+
+  std::size_t total_nets() const {
+    std::size_t n = 0;
+    for (const auto& s : nets) n += s.size();
+    return n;
+  }
+};
+
+/// Assigns every net to the shard of its bounding-box center (source and
+/// sink pins). Pure function of its arguments; thread-free.
+ShardMap assign_nets_to_shards(const RoutingGrid& grid,
+                               const Netlist& netlist, int shards);
+
+}  // namespace cdst

@@ -24,13 +24,16 @@ Rect net_window_box(const Net& net, const OracleParams& p) {
 OracleInstance::OracleInstance(const RoutingGrid& grid,
                                const CongestionCosts& costs, const Net& net,
                                std::span<const double> sink_weights,
-                               const OracleParams& params)
-    : rep_(std::make_unique<Rep>(grid, costs, net_window_box(net, params))) {
+                               const OracleParams& params,
+                               const RoundPricing* pricing)
+    : rep_(std::make_unique<Rep>(grid, costs, net_window_box(net, params),
+                                 pricing)) {
   CDST_CHECK(sink_weights.size() == net.sinks.size());
   Rep& rep = *rep_;
   rep.instance.graph = &rep.window.graph();
   rep.instance.cost = &rep.window.edge_costs();
   rep.instance.delay = &rep.window.edge_delays();
+  rep.instance.arc_costs = &rep.window.arc_costs();
   rep.instance.dbif = params.dbif;
   rep.instance.eta = params.eta;
   rep.instance.root = rep.window.from_grid_vertex(grid.vertex_at(net.source));
@@ -71,6 +74,12 @@ OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
     return out;
   }
 
+  // The embedded baselines poll cancellation too: once before the plane
+  // topology is built, then per embedding-DP node inside embed_topology.
+  if (controls != nullptr && controls->cancel != nullptr &&
+      controls->cancel->load(std::memory_order_relaxed)) {
+    throw SolveCancelled();
+  }
   PlaneTopology topo;
   switch (method) {
     case SteinerMethod::kL1:
@@ -97,7 +106,7 @@ OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
     case SteinerMethod::kCD:
       break;  // handled above
   }
-  EmbedResult r = embed_topology(topo, oi.instance());
+  EmbedResult r = embed_topology(topo, oi.instance(), controls);
   out.eval = r.eval;
   out.grid_edges = oi.window().to_grid_edges(r.tree.all_edges());
   return out;

@@ -40,10 +40,14 @@ class OracleInstance {
  public:
   /// `sink_weights` is a borrowed view (one weight per net sink); it is read
   /// only during construction, so routers can pass views into their flat
-  /// per-sink arrays instead of materializing a per-net copy.
+  /// per-sink arrays instead of materializing a per-net copy. `pricing`
+  /// (optional, borrowed for construction only) prices the window from a
+  /// frozen round snapshot instead of the live congestion state — the
+  /// sharded router's path (see grid/window.h, route/sharding.h).
   OracleInstance(const RoutingGrid& grid, const CongestionCosts& costs,
                  const Net& net, std::span<const double> sink_weights,
-                 const OracleParams& params);
+                 const OracleParams& params,
+                 const RoundPricing* pricing = nullptr);
   ~OracleInstance();
 
   OracleInstance(OracleInstance&&) noexcept;
@@ -63,8 +67,9 @@ class OracleInstance {
 
  private:
   struct Rep {
-    Rep(const RoutingGrid& grid, const CongestionCosts& costs, Rect box)
-        : window(grid, costs, box), future_cost(window) {}
+    Rep(const RoutingGrid& grid, const CongestionCosts& costs, Rect box,
+        const RoundPricing* pricing)
+        : window(grid, costs, box, pricing), future_cost(window) {}
     RoutingWindow window;
     WindowFutureCost future_cost;
     CostDistanceInstance instance;
@@ -81,8 +86,10 @@ struct OracleOutcome {
 
 /// Solves the materialized instance with the chosen method. `scratch`
 /// recycles cost-distance solver state across calls and `controls` wires in
-/// cancellation; both may be null (one-shot behavior). Results do not depend
-/// on the scratch's history.
+/// cancellation; both may be null (one-shot behavior). Every method honors
+/// `controls` — CD polls inside the solve, the embedded L1/SL/PD baselines
+/// poll before topology construction and at each embedding-DP node. Results
+/// do not depend on the scratch's history.
 OracleOutcome run_method(const OracleInstance& oi, SteinerMethod method,
                          const OracleParams& params,
                          SolverScratch* scratch = nullptr,

@@ -1,0 +1,18 @@
+/// \file prefetch.h
+/// Portable explicit-prefetch hint for the blocked search kernels: on grid
+/// graphs the relax loop's first touch per arc is the head vertex's label
+/// slot, a data-dependent load the hardware prefetcher cannot predict.
+
+#pragma once
+
+namespace cdst {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch_read(const void* p) { __builtin_prefetch(p, 0); }
+inline void prefetch_write(const void* p) { __builtin_prefetch(p, 1); }
+#else
+inline void prefetch_read(const void*) {}
+inline void prefetch_write(const void*) {}
+#endif
+
+}  // namespace cdst
