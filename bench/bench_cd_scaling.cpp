@@ -163,6 +163,46 @@ BENCHMARK(BM_CostDistance_BatchSolve)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// The streaming pipeline over the same 24 oracle calls: submit through a
+// bounded window (8 in flight), poll opportunistically, drain the tail.
+// Results are delivered strictly in submission order and bit-identical to
+// BatchSolve; the interesting delta is the overhead of per-job dispatch +
+// ordered delivery vs the batch barrier, across thread counts.
+void BM_CostDistance_StreamSolve(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Fixture f = make(23, 48, 5, 16);
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  ThreadPool pool(threads);
+  CdSolver solver(opts, &pool);
+  std::vector<CdSolver::Job> jobs(24);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    jobs[j].instance = &f.inst;
+    jobs[j].seed = j + 1;
+  }
+  for (auto _ : state) {
+    SolveStream stream = solver.stream({.window = 8});
+    std::size_t delivered = 0;
+    for (const CdSolver::Job& job : jobs) {
+      benchmark::DoNotOptimize(stream.submit(job));
+      while (auto r = stream.poll()) {
+        benchmark::DoNotOptimize(r->ok());
+        ++delivered;
+      }
+    }
+    for (StatusOr<SolveResult>& r : stream.drain()) {
+      benchmark::DoNotOptimize(r.ok());
+      ++delivered;
+    }
+    if (delivered != jobs.size()) state.SkipWithError("lost results");
+  }
+}
+BENCHMARK(BM_CostDistance_StreamSolve)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // Emits machine-readable results to BENCH_cd_scaling.json by default so the

@@ -53,15 +53,16 @@ int main() {
   inst.dbif = dbif;
   inst.eta = 0.25;
 
-  // 4. A solver session. The shared ThreadPool parallelizes the landmark
-  //    preprocessing here and would serve solve_batch the same way; the
-  //    scratch inside the CdSolver is recycled across every solve it runs.
-  ThreadPool pool(2);
-  const FutureCost fc(grid, /*num_landmarks=*/4, &pool);
+  // 4. An engine + a solver session. The engine owns the shared ThreadPool
+  //    (parallelizing the landmark preprocessing here, and solve_batch /
+  //    stream the same way) and the shared dense-state budget; the scratch
+  //    inside the vended CdSolver is recycled across every solve it runs.
+  Engine engine({.threads = 2});
+  const FutureCost fc(grid, /*num_landmarks=*/4, &engine.thread_pool());
   SolverOptions opts;
   opts.future_cost = &fc;
   opts.seed = 1;
-  CdSolver solver(opts, &pool);
+  CdSolver solver = engine.make_solver(opts);
 
   const StatusOr<SolveResult> solved = solver.solve(inst);
   if (!solved.ok()) {

@@ -1,8 +1,9 @@
 // Full timing-constrained global routing on a small synthetic chip,
 // comparing the cost-distance oracle against the Prim-Dijkstra baseline —
 // a miniature of the paper's Table IV/V experiment — driven through the
-// session API: one Router per method on a shared ThreadPool, with round
-// progress reported through a RunControl callback.
+// session API: one Router per method on a shared ThreadPool, observed
+// through a typed EventSink (batch boundaries while a round runs, round
+// barriers with congestion stats).
 //
 //   ./examples/timing_driven_routing [--nets N] [--iterations K] [--threads T]
 
@@ -54,13 +55,24 @@ int main(int argc, char** argv) {
   // object); per-net batches fan out onto it deterministically.
   ThreadPool pool(std::max(1, static_cast<int>(args.get_int("threads"))));
 
+  // Typed event observer: batch progress lines while a round runs, and a
+  // summary with congestion stats at every round barrier.
+  struct ProgressSink final : EventSink {
+    void on_router_round(const RouterRoundEvent& e) override {
+      if (e.round_complete) {
+        std::fprintf(stderr,
+                     "  [route] round %d/%d done: ACE4 %.2f%%, max util "
+                     "%.1f%%, %zu overfull edges\n",
+                     e.round + 1, e.target_round, e.ace4, e.max_utilization,
+                     e.overfull_edges);
+      } else {
+        std::fprintf(stderr, "  [route] round %d/%d: %zu/%zu nets\n",
+                     e.round + 1, e.target_round, e.nets_done, e.nets_total);
+      }
+    }
+  } sink;
   RunControl control;
-  if (args.get_bool("progress")) {
-    control.on_progress = [](const Progress& p) {
-      std::fprintf(stderr, "  [%s] round %d/%d: %zu/%zu nets\n", p.stage,
-                   p.round + 1, p.total_rounds, p.done, p.total);
-    };
-  }
+  if (args.get_bool("progress")) control.events = &sink;
 
   TextTable table({"Run", "WS [ps]", "TNS [ps]", "ACE4 [%]", "WL [gcells]",
                    "Vias", "Walltime"});

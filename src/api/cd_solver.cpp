@@ -5,14 +5,22 @@
 #include <string>
 #include <utility>
 
+#include "api/events.h"
 #include "api/scratch_pool.h"
 #include "util/thread_pool.h"
 
 namespace cdst {
-namespace {
+namespace detail {
 
-/// Runs one solve against leased scratch and maps every failure mode onto
-/// the structured status contract. `statuses[i]` stays OK on success.
+SolveMergeEvent to_event(const MergeTick& tick) {
+  SolveMergeEvent event;
+  event.merges_done = tick.merges_done;
+  event.merges_total = tick.merges_total;
+  event.labels_settled = tick.labels_settled;
+  event.completions_popped = tick.completions_popped;
+  return event;
+}
+
 Status solve_into(const CostDistanceInstance& instance,
                   const SolverOptions& options, SolverScratch* scratch,
                   const SolveControls* controls, SolveResult* out) {
@@ -28,17 +36,29 @@ Status solve_into(const CostDistanceInstance& instance,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 CdSolver::CdSolver(SolverOptions options, ThreadPool* pool)
     : options_(std::move(options)),
       pool_(pool),
       scratch_(std::make_unique<detail::SolverScratchPool>()),
-      dense_budget_(options_.dense_state_budget_bytes) {}
+      dense_budget_(options_.dense_state_budget_bytes),
+      active_streams_(std::make_shared<std::atomic<int>>(0)) {}
 
 CdSolver::~CdSolver() = default;
 CdSolver::CdSolver(CdSolver&&) noexcept = default;
 CdSolver& CdSolver::operator=(CdSolver&&) noexcept = default;
+
+SolverOptions CdSolver::resolve_job_options(const Job& job) {
+  SolverOptions opts = options_;
+  if (job.future_cost != nullptr) opts.future_cost = job.future_cost;
+  if (job.seed.has_value()) opts.seed = *job.seed;
+  if (opts.shared_dense_budget == nullptr) {
+    // All lanes of this session draw from its one atomic pool.
+    opts.shared_dense_budget = &dense_budget_;
+  }
+  return opts;
+}
 
 StatusOr<SolveResult> CdSolver::solve(const CostDistanceInstance& instance,
                                       const RunControl& control) {
@@ -52,28 +72,22 @@ StatusOr<SolveResult> CdSolver::solve(const Job& job,
   if (job.instance == nullptr) {
     return Status::InvalidArgument("solve job has no instance");
   }
-  SolverOptions opts = options_;
-  if (job.future_cost != nullptr) opts.future_cost = job.future_cost;
-  if (job.seed.has_value()) opts.seed = *job.seed;
-  if (opts.shared_dense_budget == nullptr) {
-    opts.shared_dense_budget = &dense_budget_;
-  }
+  maybe_reset_budget();
+  const SolverOptions opts = resolve_job_options(job);
 
+  const detail::EventFan fan(control);
   SolveControls controls = detail::make_solve_controls(control);
-  if (control.on_progress) {
-    controls.on_merge = [&control](std::size_t done, std::size_t total) {
-      Progress p;
-      p.stage = "solve";
-      p.done = done;
-      p.total = total;
-      control.on_progress(p);
+  if (fan.active()) {
+    controls.on_merge = [&fan](const MergeTick& tick) {
+      fan.emit_solve_merge(detail::to_event(tick));
     };
   }
 
   const detail::SolverScratchPool::Lease lease = scratch_->lease();
   SolveResult result;
   Status status =
-      solve_into(*job.instance, opts, lease.get(), &controls, &result);
+      detail::solve_into(*job.instance, opts, lease.get(), &controls,
+                         &result);
   if (!status.ok()) return status;
   return result;
 }
@@ -88,12 +102,29 @@ StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
                                      " has no instance");
     }
   }
+  maybe_reset_budget();
 
   const std::atomic<bool>* cancel_flag =
       control.cancel != nullptr ? &control.cancel->flag() : nullptr;
+  const detail::EventFan fan(control);
   std::vector<Status> statuses(jobs.size());
   std::size_t completed = 0;  // guarded by progress_mu
   std::mutex progress_mu;
+
+  // Serialized so sinks need not be thread-safe, and the count is
+  // incremented under the same lock so `completed` is strictly monotonic
+  // across events. It is a completion count, not an index (completion order
+  // varies; the final results never do).
+  const auto emit_job_event = [&](std::size_t i) {
+    if (!fan.active()) return;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    JobEvent event;
+    event.index = i;
+    event.completed = ++completed;
+    event.submitted = jobs.size();
+    event.status = statuses[i].code();
+    fan.emit_job(event);
+  };
 
   const std::function<void(std::size_t)> body = [&](std::size_t i) {
     if (cancel_flag != nullptr &&
@@ -101,31 +132,14 @@ StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
       statuses[i] = Status::Cancelled("batch cancelled before this instance");
       return;
     }
-    SolverOptions opts = options_;
-    if (jobs[i].future_cost != nullptr) opts.future_cost = jobs[i].future_cost;
-    if (jobs[i].seed.has_value()) opts.seed = *jobs[i].seed;
-    if (opts.shared_dense_budget == nullptr) {
-      // All lanes of the batch draw from the session's one atomic pool.
-      opts.shared_dense_budget = &dense_budget_;
-    }
+    const SolverOptions opts = resolve_job_options(jobs[i]);
     SolveControls controls = detail::make_solve_controls(control);
 
     const detail::SolverScratchPool::Lease lease = scratch_->lease();
     statuses[i] =
-        solve_into(*jobs[i].instance, opts, lease.get(), &controls,
-                   &results[i]);
-    if (control.on_progress) {
-      // Serialized so the callback need not be thread-safe, and the count
-      // is incremented under the same lock so `done` is strictly
-      // monotonic across callbacks. It is a completion count, not an index
-      // (completion order varies; the final results never do).
-      std::lock_guard<std::mutex> lock(progress_mu);
-      Progress p;
-      p.stage = "solve_batch";
-      p.done = ++completed;
-      p.total = jobs.size();
-      control.on_progress(p);
-    }
+        detail::solve_into(*jobs[i].instance, opts, lease.get(), &controls,
+                           &results[i]);
+    emit_job_event(i);
   };
 
   if (pool_ != nullptr) {

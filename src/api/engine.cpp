@@ -1,0 +1,32 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace cdst {
+
+Engine::Engine(const Options& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads < 1 ? 1
+                                                             : options.threads)),
+      dense_budget_(options.dense_state_budget_bytes) {}
+
+Engine::~Engine() = default;
+
+CdSolver Engine::make_solver(SolverOptions options) {
+  if (options.shared_dense_budget == nullptr) {
+    options.shared_dense_budget = &dense_budget_;
+  }
+  return CdSolver(std::move(options), pool_.get());
+}
+
+Router Engine::make_router(const RoutingGrid& grid, const Netlist& netlist,
+                           RouterOptions options) {
+  if (options.oracle.cd.shared_dense_budget == nullptr) {
+    options.oracle.cd.shared_dense_budget = &dense_budget_;
+  }
+  return Router(grid, netlist, options, pool_.get());
+}
+
+}  // namespace cdst

@@ -1,0 +1,71 @@
+/// \file api/engine.h
+/// Process-level facade over the session objects: one Engine owns the
+/// ThreadPool and the shared DenseStateBudget, and vends CdSolver / Router
+/// sessions pre-wired to both.
+///
+/// Before the facade, sharing one worker pool and one memory budget across
+/// concurrent solve lanes was a convention: every call site had to thread
+/// the same ThreadPool* and set options.shared_dense_budget itself, and one
+/// forgotten wire meant N lanes silently budgeting N times the intended
+/// memory. An Engine makes the sharing structural — every session it vends
+/// draws workers from engine.thread_pool() and dense-state bytes from
+/// engine.dense_budget() by construction.
+///
+/// The Engine must outlive every session (and stream) it vends; it is
+/// neither copyable nor movable, since sessions hold pointers into it.
+/// Sessions remain plain movable values — an Engine is a factory plus the
+/// shared substrate, not a registry.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "api/cd_solver.h"
+#include "api/router.h"
+// The pool is part of the Engine's surface (thread_pool() hands it to
+// helpers like FutureCost), so the facade header completes the type.
+#include "util/thread_pool.h"
+
+namespace cdst {
+
+struct EngineOptions {
+  /// Total worker concurrency (including calling threads) of the shared
+  /// pool; every vended session fans out on it. Values < 1 mean 1.
+  int threads{1};
+  /// Size of the shared dense-state pool every vended session reserves
+  /// search memory from (see DenseStateBudget).
+  std::size_t dense_state_budget_bytes{512u << 20};
+};
+
+class Engine {
+ public:
+  using Options = EngineOptions;
+
+  explicit Engine(const Options& options = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Options& options() const { return options_; }
+  ThreadPool& thread_pool() { return *pool_; }
+  DenseStateBudget& dense_budget() { return dense_budget_; }
+
+  /// A CdSolver on the engine's pool, drawing dense-state memory from the
+  /// engine's shared budget (a caller-installed options.shared_dense_budget
+  /// wins; the wiring survives later set_options — see CdSolver).
+  CdSolver make_solver(SolverOptions options = {});
+
+  /// A Router session on the engine's pool whose per-net oracle lanes draw
+  /// from the engine's shared budget (same override rule as make_solver).
+  /// options.threads is ignored — the engine's pool decides concurrency.
+  Router make_router(const RoutingGrid& grid, const Netlist& netlist,
+                     RouterOptions options = {});
+
+ private:
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  DenseStateBudget dense_budget_;
+};
+
+}  // namespace cdst

@@ -1,0 +1,241 @@
+/// \file api/events.h
+/// Typed engine events — the observer surface of the streaming pipeline API.
+///
+/// The single opaque `Progress` callback of the original RunControl could
+/// only express "done/total at some stage"; pipelines that multiplex solver
+/// lanes, batch jobs and router rounds need to know *which* boundary fired
+/// and what state it carries. An EventSink receives one typed call per
+/// boundary instead:
+///
+///   on_solve_merge   core/cost_distance.cpp, after every component merge
+///                    of a single solve() (solving thread)
+///   on_job           CdSolver::solve_batch / SolveStream, after every
+///                    per-job completion (serialized; `completed` is
+///                    strictly monotonic)
+///   on_router_shard  api/router.cpp, after each spatial shard of a sharded
+///                    round finishes routing (serialized; tile coordinates
+///                    from route/sharding.cpp)
+///   on_router_round  api/router.cpp, at batch boundaries and at the round
+///                    barrier (round_complete, with congestion stats), and
+///                    as the final summary of a cancelled run() (cancelled,
+///                    so observers see the round the unwind stopped at)
+///
+/// Ordering guarantees: events of one engine call are delivered in a single
+/// serialized stream (the sink need not be thread-safe); job `completed`
+/// counts and router `nets_done` counts never decrease within a call; a
+/// round_complete event for round r is delivered before any event of round
+/// r+1. Handlers must not call back into the emitting session object (the
+/// engine may hold internal locks while delivering) — request_cancel() on a
+/// CancelToken is the supported way to influence a run from a handler.
+///
+/// The legacy `RunControl::on_progress` callback remains as a deprecated
+/// adapter: detail::LegacyProgressSink translates the progress-like subset
+/// of events back into the old `Progress` shape, bit-compatible with the
+/// pre-event behavior (it drops the new round_complete / cancelled
+/// summaries, which legacy observers never saw).
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "api/run_control.h"
+#include "api/status.h"
+
+namespace cdst {
+
+/// One component merge of a single cost-distance solve. merges_total is the
+/// instance's sink count; merges_done == merges_total is the finished tree.
+struct SolveMergeEvent {
+  std::size_t merges_done{0};
+  std::size_t merges_total{0};
+  std::size_t labels_settled{0};      ///< permanent labels so far
+  std::size_t completions_popped{0};  ///< completion labels popped so far
+};
+
+/// One job finished inside CdSolver::solve_batch or a SolveStream.
+struct JobEvent {
+  std::size_t index{0};      ///< submission index of the finished job
+  std::size_t completed{0};  ///< jobs finished so far (strictly monotonic)
+  /// Batch size (solve_batch) or jobs submitted so far (SolveStream).
+  std::size_t submitted{0};
+  StatusCode status{StatusCode::kOk};  ///< how this job ended
+};
+
+/// One spatial shard of a sharded router round finished routing (the merge
+/// into committed state happens later, at the round barrier).
+struct RouterShardEvent {
+  int round{0};         ///< absolute session round index
+  int target_round{0};  ///< absolute round this run() call is heading for
+  int shard{0};         ///< shard index within the round
+  int shards{0};       ///< shard count of the round
+  int tile_x{0};       ///< lattice coordinates of the shard's grid tile
+  int tile_y{0};
+  std::size_t shard_nets{0};  ///< nets assigned to this shard
+  std::size_t nets_done{0};   ///< nets routed so far this round (monotonic)
+  std::size_t nets_total{0};
+};
+
+/// A router round boundary: batch progress inside a round, the round
+/// barrier itself (round_complete, congestion stats filled), or the final
+/// summary of a cancelled run() (cancelled, congestion stats filled).
+struct RouterRoundEvent {
+  int round{0};         ///< absolute session round index
+  int target_round{0};  ///< absolute round this run() call is heading for
+  std::size_t nets_done{0};
+  std::size_t nets_total{0};
+  /// True at the round barrier, after every update merged into committed
+  /// state; congestion stats below describe that committed state.
+  bool round_complete{false};
+  /// True on the final summary of a cancelled run(): `round` is the round
+  /// the unwind stopped at (not yet counted by rounds_completed()), and the
+  /// congestion stats describe the committed state the session kept.
+  bool cancelled{false};
+  /// ACE4 congestion (paper Tables IV/V) of the committed routes; only
+  /// meaningful when round_complete or cancelled, negative otherwise.
+  double ace4{-1.0};
+  double max_utilization{-1.0};  ///< worst edge utilization in %
+  std::size_t overfull_edges{0};
+};
+
+/// Typed event observer. Default implementations ignore everything, so a
+/// sink overrides only the boundaries it cares about. Install one via
+/// RunControl::events; the engine serializes all calls within one engine
+/// call, so implementations need not be thread-safe (they are, however,
+/// invoked on engine worker threads — keep them fast and do not call back
+/// into the emitting session). Handlers should not throw: observation
+/// never alters engine results or statuses, so any exception a handler
+/// does raise is caught and discarded at the emission site.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_solve_merge(const SolveMergeEvent& event) {
+    (void)event;
+  }
+  virtual void on_job(const JobEvent& event) { (void)event; }
+  virtual void on_router_shard(const RouterShardEvent& event) {
+    (void)event;
+  }
+  virtual void on_router_round(const RouterRoundEvent& event) {
+    (void)event;
+  }
+};
+
+namespace detail {
+
+// This adapter is the one place that reads the deprecated
+// RunControl::on_progress member by design.
+
+/// Translates typed events back into the deprecated Progress callback,
+/// bit-compatible with the pre-event behavior: merge ticks -> "solve", job
+/// completions -> "solve_batch", shard/batch boundaries -> "route". The new
+/// round_complete / cancelled summaries are dropped — legacy observers
+/// never received them.
+class LegacyProgressSink final : public EventSink {
+ public:
+  explicit LegacyProgressSink(
+      const std::function<void(const Progress&)>& callback)
+      : callback_(callback) {}
+
+  void on_solve_merge(const SolveMergeEvent& event) override {
+    Progress p;
+    p.stage = "solve";
+    p.done = event.merges_done;
+    p.total = event.merges_total;
+    callback_(p);
+  }
+
+  void on_job(const JobEvent& event) override {
+    Progress p;
+    p.stage = "solve_batch";
+    p.done = event.completed;
+    p.total = event.submitted;
+    callback_(p);
+  }
+
+  void on_router_shard(const RouterShardEvent& event) override {
+    Progress p;
+    p.stage = "route";
+    p.done = event.nets_done;
+    p.total = event.nets_total;
+    p.round = event.round;
+    p.total_rounds = event.target_round;
+    callback_(p);
+  }
+
+  void on_router_round(const RouterRoundEvent& event) override {
+    if (event.round_complete || event.cancelled) return;
+    Progress p;
+    p.stage = "route";
+    p.done = event.nets_done;
+    p.total = event.nets_total;
+    p.round = event.round;
+    p.total_rounds = event.target_round;
+    callback_(p);
+  }
+
+ private:
+  const std::function<void(const Progress&)>& callback_;
+};
+
+/// Resolves a RunControl's observers once per engine call: the typed sink
+/// (if installed) and the legacy callback (wrapped). Both may be active at
+/// once; emit_* forwards to each. An inactive fan makes every emit a no-op,
+/// so call sites can skip event construction via active().
+class EventFan {
+ public:
+  explicit EventFan(const RunControl& control) : legacy_(control.on_progress) {
+    if (control.events != nullptr) sinks_[count_++] = control.events;
+    if (control.on_progress) sinks_[count_++] = &legacy_;
+  }
+  EventFan(const EventFan&) = delete;
+  EventFan& operator=(const EventFan&) = delete;
+
+  bool active() const { return count_ > 0; }
+
+  // Emission swallows handler exceptions (the EventSink contract): events
+  // fire from solver hot loops, fire-and-forget stream lanes and batch
+  // workers, where an escaping exception would either kill the process or
+  // leak through the api layer's no-throw Status boundary. Observation must
+  // never alter engine behavior.
+  void emit_solve_merge(const SolveMergeEvent& event) const {
+    for (int i = 0; i < count_; ++i) {
+      try {
+        sinks_[i]->on_solve_merge(event);
+      } catch (...) {
+      }
+    }
+  }
+  void emit_job(const JobEvent& event) const {
+    for (int i = 0; i < count_; ++i) {
+      try {
+        sinks_[i]->on_job(event);
+      } catch (...) {
+      }
+    }
+  }
+  void emit_router_shard(const RouterShardEvent& event) const {
+    for (int i = 0; i < count_; ++i) {
+      try {
+        sinks_[i]->on_router_shard(event);
+      } catch (...) {
+      }
+    }
+  }
+  void emit_router_round(const RouterRoundEvent& event) const {
+    for (int i = 0; i < count_; ++i) {
+      try {
+        sinks_[i]->on_router_round(event);
+      } catch (...) {
+      }
+    }
+  }
+
+ private:
+  LegacyProgressSink legacy_;
+  EventSink* sinks_[2]{};
+  int count_{0};
+};
+
+}  // namespace detail
+}  // namespace cdst

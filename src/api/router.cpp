@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "api/events.h"
 #include "api/scratch_pool.h"
 #include "route/sharding.h"
 #include "util/logging.h"
@@ -66,6 +67,30 @@ struct Router::Impl {
     }
   }
 
+  /// Fills a round event's congestion fields from the committed usage.
+  void fill_congestion(RouterRoundEvent& event) const {
+    const CongestionReport report = compute_ace(costs);
+    event.ace4 = report.ace4;
+    event.max_utilization = report.max_utilization;
+    event.overfull_edges = report.overfull_edges;
+  }
+
+  /// Final summary of a cancelled run(): observers see the round the unwind
+  /// stopped at (not yet counted by rounds_done) plus how much of it the
+  /// committed state kept, so a monitoring pipeline never loses track of
+  /// where a session stands after cancellation.
+  void emit_cancel_summary(const detail::EventFan& fan, int target) {
+    if (!fan.active()) return;
+    RouterRoundEvent event;
+    event.round = rounds_done;
+    event.target_round = target;
+    event.nets_done = round_nets_committed;
+    event.nets_total = netlist.nets.size();
+    event.cancelled = true;
+    fill_congestion(event);
+    fan.emit_router_round(event);
+  }
+
   Status run(int rounds, const RunControl& control) {
     if (rounds < 0) return Status::InvalidArgument("rounds must be >= 0");
     if (rounds == 0) return Status::Ok();
@@ -77,10 +102,13 @@ struct Router::Impl {
       ~TimeAcc() { acc += timer.seconds(); }
     } time_acc{timer, walltime_s};
 
+    const detail::EventFan fan(control);
     try {
       const int target = rounds_done + rounds;
       while (rounds_done < target) {
+        round_nets_committed = 0;
         if (control.cancel != nullptr && control.cancel->cancelled()) {
+          emit_cancel_summary(fan, target);
           return Status::Cancelled("router run cancelled");
         }
         // Lagrangean step at the round boundary: slacks of the committed
@@ -97,8 +125,24 @@ struct Router::Impl {
                                sink_weights, step);
           weights_round = rounds_done;
         }
-        const Status st = route_round(rounds_done, target, control);
-        if (!st.ok()) return st;
+        const Status st = route_round(rounds_done, target, control, fan);
+        if (!st.ok()) {
+          if (st.code() == StatusCode::kCancelled) {
+            emit_cancel_summary(fan, target);
+          }
+          return st;
+        }
+        if (fan.active()) {
+          // Round barrier: every update of the round is committed.
+          RouterRoundEvent event;
+          event.round = rounds_done;
+          event.target_round = target;
+          event.nets_done = round_nets_committed;
+          event.nets_total = netlist.nets.size();
+          event.round_complete = true;
+          fill_congestion(event);
+          fan.emit_router_round(event);
+        }
         ++rounds_done;
         if (options.verbose) {
           const TimingSummary ts =
@@ -118,12 +162,11 @@ struct Router::Impl {
     }
   }
 
-  Status route_round(int round, int target_rounds,
-                     const RunControl& control) {
-    return options.shards > 0 ? route_round_sharded(round, target_rounds,
-                                                    control)
-                              : route_round_batched(round, target_rounds,
-                                                    control);
+  Status route_round(int round, int target_rounds, const RunControl& control,
+                     const detail::EventFan& fan) {
+    return options.shards > 0
+               ? route_round_sharded(round, target_rounds, control, fan)
+               : route_round_batched(round, target_rounds, control, fan);
   }
 
   /// Materializes and solves one net's oracle instance — the one place the
@@ -158,7 +201,8 @@ struct Router::Impl {
   /// no rollback needed — and results are bit-identical at any thread and
   /// shard count.
   Status route_round_sharded(int round, int target_rounds,
-                             const RunControl& control) {
+                             const RunControl& control,
+                             const detail::EventFan& fan) {
     const std::size_t num_nets = netlist.nets.size();
     const SolveControls controls = detail::make_solve_controls(control);
 
@@ -200,16 +244,24 @@ struct Router::Impl {
                 round_costs, routes[i].empty() ? nullptr : &excluded};
             outcomes[i] = route_one_net(i, round, &pricing, controls);
           }
-          if (control.on_progress) {
+          if (fan.active()) {
+            // Serialized shard boundary: sinks need not be thread-safe and
+            // nets_done is monotonic across events.
             std::lock_guard<std::mutex> lock(progress_mu);
             nets_done += mine.size();
-            Progress prog;
-            prog.stage = "route";
-            prog.done = nets_done;
-            prog.total = num_nets;
-            prog.round = round;
-            prog.total_rounds = target_rounds;
-            control.on_progress(prog);
+            const ShardTile tile =
+                shard_tile(shard_map.tiles, static_cast<int>(sh));
+            RouterShardEvent event;
+            event.round = round;
+            event.target_round = target_rounds;
+            event.shard = static_cast<int>(sh);
+            event.shards = shard_map.tiles.num_shards();
+            event.tile_x = tile.tx;
+            event.tile_y = tile.ty;
+            event.shard_nets = mine.size();
+            event.nets_done = nets_done;
+            event.nets_total = num_nets;
+            fan.emit_router_shard(event);
           }
         };
     try {
@@ -234,12 +286,14 @@ struct Router::Impl {
         sink_delays[sink_offset[i] + s] = out.eval.sink_delays[s];
       }
     }
+    round_nets_committed = num_nets;
     return Status::Ok();
   }
 
   /// The legacy batched round discipline (RouterOptions::shards == 0).
   Status route_round_batched(int round, int target_rounds,
-                             const RunControl& control) {
+                             const RunControl& control,
+                             const detail::EventFan& fan) {
     const std::size_t num_nets = netlist.nets.size();
     const std::size_t batch =
         static_cast<std::size_t>(std::max(1, options.batch_size));
@@ -293,14 +347,16 @@ struct Router::Impl {
           sink_delays[sink_offset[i] + s] = out.eval.sink_delays[s];
         }
       }
-      if (control.on_progress) {
-        Progress p;
-        p.stage = "route";
-        p.done = hi;
-        p.total = num_nets;
-        p.round = round;
-        p.total_rounds = target_rounds;
-        control.on_progress(p);
+      round_nets_committed = hi;
+      if (fan.active()) {
+        // Batch boundary inside the round (not the barrier: later batches
+        // of this round are still outstanding, so no congestion stats yet).
+        RouterRoundEvent event;
+        event.round = round;
+        event.target_round = target_rounds;
+        event.nets_done = hi;
+        event.nets_total = num_nets;
+        fan.emit_router_round(event);
       }
     }
     return Status::Ok();
@@ -352,6 +408,10 @@ struct Router::Impl {
   std::vector<std::vector<EdgeId>> routes;
   int rounds_done{0};
   int weights_round{0};  ///< last absolute round the multipliers stepped for
+  /// Nets of the in-progress round already merged into committed state
+  /// (batched rounds commit per batch; sharded rounds all-at-once at the
+  /// barrier). Feeds the round/cancellation summary events.
+  std::size_t round_nets_committed{0};
   double walltime_s{0.0};
 };
 

@@ -12,7 +12,11 @@
 /// Cancellation is honored at batch granularity: a cancelled run() returns
 /// kCancelled with every committed batch intact (the in-flight batch is
 /// rolled back to its pre-rip-up routes), so result() is always a coherent
-/// snapshot. No exception crosses this boundary.
+/// snapshot, and the run emits a final cancelled round-summary event so
+/// observers see the round the unwind stopped at. No exception crosses
+/// this boundary. Observation goes through RunControl::events
+/// (api/events.h): batch/shard boundaries while a round runs, and a
+/// round_complete event with congestion stats at every round barrier.
 ///
 /// With RouterOptions::shards >= 1 rounds run spatially sharded instead of
 /// batched: prices freeze once per round, net shards (grid tiles, see

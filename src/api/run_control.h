@@ -1,11 +1,15 @@
 /// \file api/run_control.h
-/// Cooperative progress reporting and cancellation for long-running engine
-/// calls (CdSolver::solve / solve_batch, Router::run).
+/// Cooperative observation and cancellation for long-running engine calls
+/// (CdSolver::solve / solve_batch / SolveStream, Router::run).
 ///
 /// The controller thread owns a CancelToken and hands a RunControl to the
 /// engine call; the engine polls the token at bounded intervals and returns
-/// a clean kCancelled Status — committed state (a Router's finished batches,
-/// a batch solve's completed instances) is never corrupted by cancellation.
+/// a clean kCancelled Status — committed state (a Router's finished rounds,
+/// a batch solve's completed instances, a stream's delivered results) is
+/// never corrupted by cancellation. Observation goes through the typed
+/// EventSink of api/events.h: solver merge ticks, per-job completions, and
+/// router round/shard boundaries with congestion stats. The original
+/// single `Progress` callback remains as a deprecated adapter.
 
 #pragma once
 
@@ -16,8 +20,10 @@
 
 namespace cdst {
 
+class EventSink;  // api/events.h
+
 /// Thread-safe cancellation flag. The controller calls request_cancel()
-/// (from any thread, including a progress callback); the engine observes it
+/// (from any thread, including an event handler); the engine observes it
 /// within one poll interval. Reusable across calls via reset().
 class CancelToken {
  public:
@@ -32,7 +38,8 @@ class CancelToken {
   std::atomic<bool> flag_{false};
 };
 
-/// One progress observation. Which fields are meaningful depends on the
+/// One legacy progress observation (deprecated surface; see
+/// RunControl::on_progress). Which fields are meaningful depends on the
 /// stage: "solve" counts merges of one solve, "solve_batch" counts finished
 /// instances, "route" counts nets within the current Lagrangean round.
 struct Progress {
@@ -50,8 +57,20 @@ struct Progress {
 /// completion, report nothing" — exactly the legacy behavior.
 struct RunControl {
   const CancelToken* cancel{nullptr};
-  /// Invoked on the thread that made the observation; solve_batch serializes
-  /// invocations, so the callback itself need not be thread-safe.
+  /// Typed event observer (api/events.h): solver merge ticks, per-job
+  /// completions, router round/shard boundaries. Borrowed; must outlive the
+  /// engine call (for a SolveStream: the stream). Event delivery within one
+  /// engine call is serialized, so the sink need not be thread-safe — but
+  /// handlers run on engine worker threads and must not call back into the
+  /// emitting session (use a CancelToken to influence the run).
+  EventSink* events{nullptr};
+  /// DEPRECATED: legacy single-callback observer, superseded by `events`
+  /// (not attribute-marked — compilers flag deprecated members on every
+  /// implicit RunControl construction, which would punish callers that
+  /// never touch it). Still honored: the engine adapts the progress-like
+  /// subset of events back into Progress calls, bit-compatible with the
+  /// pre-event behavior. May be combined with `events` (both then observe).
+  /// Invoked serialized, on the thread that made the observation.
   std::function<void(const Progress&)> on_progress;
   /// Queue pops between cancellation checks inside one cost-distance solve
   /// (responsiveness/overhead trade-off; 0 means the default).

@@ -20,13 +20,18 @@
 #include <vector>
 
 #include "api/run_control.h"
+#include "api/status.h"
 #include "core/cost_distance.h"
+
+namespace cdst {
+struct SolveMergeEvent;  // api/events.h
+}  // namespace cdst
 
 namespace cdst::detail {
 
 /// The one mapping from a caller's RunControl onto the core solver's
-/// cooperative controls (cancel flag + poll interval; progress wiring stays
-/// call-site specific). Both session objects use this, so their cancellation
+/// cooperative controls (cancel flag + poll interval; event wiring stays
+/// call-site specific). All session objects use this, so their cancellation
 /// semantics cannot drift apart.
 inline SolveControls make_solve_controls(const RunControl& control) {
   SolveControls controls;
@@ -36,6 +41,16 @@ inline SolveControls make_solve_controls(const RunControl& control) {
   }
   return controls;
 }
+
+/// Runs one solve against leased scratch and maps every failure mode onto
+/// the structured status contract (defined in cd_solver.cpp; shared with
+/// the SolveStream lanes so the status mapping cannot drift).
+Status solve_into(const CostDistanceInstance& instance,
+                  const SolverOptions& options, SolverScratch* scratch,
+                  const SolveControls* controls, SolveResult* out);
+
+/// Core merge tick -> typed api event (defined in cd_solver.cpp).
+SolveMergeEvent to_event(const MergeTick& tick);
 
 class SolverScratchPool {
  public:

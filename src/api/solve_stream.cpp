@@ -1,0 +1,242 @@
+#include "api/solve_stream.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "api/events.h"
+#include "api/scratch_pool.h"
+#include "util/thread_pool.h"
+
+namespace cdst {
+namespace detail {
+
+/// Shared heart of one streaming session. Heap-held behind a shared_ptr:
+/// every dispatched lane task keeps it alive, so a stream object destroyed
+/// while lanes are still running (after its blocking wait) can never leave
+/// a task with a dangling state pointer. The raw solver/scratch pointers
+/// are what make "streams must not outlive their CdSolver, and the solver
+/// must not be moved while a stream is open" a hard contract.
+struct StreamState {
+  CdSolver* solver{nullptr};
+  SolverScratchPool* scratch{nullptr};
+  ThreadPool* pool{nullptr};  ///< null: jobs solve inline on submit()
+  std::size_t window{1};
+  RunControl control;  ///< materialized copy; cancel/events borrowed
+  std::optional<EventFan> fan;  ///< built over `control` after assignment
+  std::shared_ptr<std::atomic<int>> active_streams;
+
+  struct Slot {
+    bool done{false};
+    Status status;  ///< non-OK: the job failed; result is empty
+    SolveResult result;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;  ///< completions: wakes submit/next/dtor waits
+  /// Results for jobs [delivered, submitted), front = job `delivered`.
+  std::deque<Slot> slots;
+  std::size_t submitted{0};
+  std::size_t delivered{0};
+  std::size_t completed{0};  ///< finished lanes (monotonic, for events)
+  std::size_t in_flight{0};  ///< dispatched, not yet finished (<= window)
+
+  // Backstop only: the normal decrement happens in wait_for_lanes() once
+  // the stream is quiescent, because this destructor runs when the *last*
+  // lane closure releases the state — possibly on a pool worker slightly
+  // after the stream object is gone, which would leave a window where a
+  // destroyed stream still counts as active (and set_options would skip a
+  // legitimate budget resize).
+  ~StreamState() {
+    if (active_streams != nullptr) {
+      active_streams->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  bool cancelled() const {
+    return control.cancel != nullptr && control.cancel->cancelled();
+  }
+
+  /// One lane: solve the job and publish its slot. Runs on a pool worker
+  /// (or inline on the submitting thread without a pool).
+  void run_lane(const CostDistanceInstance* instance,
+                const SolverOptions& opts, std::size_t index) {
+    Slot out;
+    if (cancelled()) {
+      out.status = Status::Cancelled("stream cancelled before this job");
+    } else {
+      const SolveControls controls = make_solve_controls(control);
+      const SolverScratchPool::Lease lease = scratch->lease();
+      out.status =
+          solve_into(*instance, opts, lease.get(), &controls, &out.result);
+    }
+    out.done = true;
+    {
+      // Publish + event under one lock: `completed` stays strictly
+      // monotonic across delivered events, and sinks are serialized.
+      // (Handlers must not call back into the stream; see api/events.h.)
+      std::lock_guard<std::mutex> lock(mu);
+      slots[index - delivered] = std::move(out);
+      --in_flight;
+      ++completed;
+      if (fan->active()) {
+        JobEvent event;
+        event.index = index;
+        event.completed = completed;
+        event.submitted = submitted;
+        event.status = slots[index - delivered].status.code();
+        fan->emit_job(event);
+      }
+    }
+    cv.notify_all();
+  }
+
+  /// Pops the head slot (which must be done) into a delivered result.
+  StatusOr<SolveResult> take_front() {
+    Slot slot = std::move(slots.front());
+    slots.pop_front();
+    ++delivered;
+    if (!slot.status.ok()) return slot.status;
+    return std::move(slot.result);
+  }
+};
+
+}  // namespace detail
+
+SolveStream CdSolver::stream(const StreamOptions& stream_options,
+                             const RunControl& control) {
+  maybe_reset_budget();
+  auto state = std::make_shared<detail::StreamState>();
+  state->solver = this;
+  state->scratch = scratch_.get();
+  state->pool = pool_;
+  state->window = stream_options.window < 1 ? 1 : stream_options.window;
+  state->control = control;
+  state->fan.emplace(state->control);
+  state->active_streams = active_streams_;
+  active_streams_->fetch_add(1, std::memory_order_acq_rel);
+  return SolveStream(std::move(state));
+}
+
+SolveStream::SolveStream(std::shared_ptr<detail::StreamState> state)
+    : state_(std::move(state)) {}
+
+SolveStream::SolveStream(SolveStream&&) noexcept = default;
+
+SolveStream& SolveStream::operator=(SolveStream&& other) noexcept {
+  if (this != &other) {
+    // Releasing the current state is a teardown of that stream: run the
+    // same blocking wait as the destructor, or the replaced stream's lanes
+    // could outlive the solver/pool they borrow.
+    wait_for_lanes();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+SolveStream::~SolveStream() { wait_for_lanes(); }
+
+void SolveStream::wait_for_lanes() {
+  if (state_ == nullptr) return;
+  {
+    // The stream is the caller's sync point against its borrowed solver:
+    // wait for every lane to finish so no task can outlive the solver/pool
+    // the caller destroys next. Undelivered results are discarded.
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->in_flight == 0; });
+  }
+  // Quiescent: no lane holds a dense-budget reservation anymore, so the
+  // session may count this stream as gone *now* — lane closures may keep
+  // the state alive on pool workers a little longer, and deferring the
+  // decrement to ~StreamState would make a set_options right after stream
+  // teardown intermittently skip its budget resize.
+  if (state_->active_streams != nullptr) {
+    state_->active_streams->fetch_sub(1, std::memory_order_acq_rel);
+    state_->active_streams.reset();
+  }
+}
+
+Status SolveStream::submit(const CdSolver::Job& job) {
+  detail::StreamState& st = *state_;
+  if (job.instance == nullptr) {
+    return Status::InvalidArgument("stream job has no instance");
+  }
+  if (st.cancelled()) {
+    return Status::Cancelled("stream cancelled; job not accepted");
+  }
+  // Resolved on the submitting thread, so a set_options() between submits
+  // deterministically affects exactly the jobs submitted after it.
+  const SolverOptions opts = st.solver->resolve_job_options(job);
+
+  std::size_t index;
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    // Backpressure: never more than `window` lanes in flight, so peak
+    // dense-state reservations stay bounded whatever the pool width.
+    st.cv.wait(lock, [&] { return st.in_flight < st.window; });
+    if (st.cancelled()) {
+      return Status::Cancelled("stream cancelled; job not accepted");
+    }
+    index = st.submitted++;
+    st.slots.emplace_back();
+    ++st.in_flight;
+  }
+
+  auto lane = [state = state_, instance = job.instance, opts, index] {
+    state->run_lane(instance, opts, index);
+  };
+  if (st.pool != nullptr) {
+    st.pool->submit(std::move(lane));
+  } else {
+    lane();
+  }
+  return Status::Ok();
+}
+
+Status SolveStream::submit(const CostDistanceInstance& instance) {
+  CdSolver::Job job;
+  job.instance = &instance;
+  return submit(job);
+}
+
+std::optional<StatusOr<SolveResult>> SolveStream::poll() {
+  detail::StreamState& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.slots.empty() || !st.slots.front().done) return std::nullopt;
+  return st.take_front();
+}
+
+std::optional<StatusOr<SolveResult>> SolveStream::next() {
+  detail::StreamState& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  if (st.delivered == st.submitted) return std::nullopt;
+  st.cv.wait(lock, [&] { return !st.slots.empty() && st.slots.front().done; });
+  return st.take_front();
+}
+
+std::vector<StatusOr<SolveResult>> SolveStream::drain() {
+  std::vector<StatusOr<SolveResult>> results;
+  while (std::optional<StatusOr<SolveResult>> r = next()) {
+    results.push_back(*std::move(r));
+  }
+  return results;
+}
+
+std::size_t SolveStream::submitted() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->submitted;
+}
+
+std::size_t SolveStream::delivered() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->delivered;
+}
+
+std::size_t SolveStream::pending() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->submitted - state_->delivered;
+}
+
+}  // namespace cdst

@@ -807,7 +807,12 @@ class Solver {
     --remaining_;
     if (!root_merge) seed_search(s);
     if (controls_ != nullptr && controls_->on_merge) {
-      controls_->on_merge(stats_.iterations, inst_.sinks.size());
+      MergeTick tick;
+      tick.merges_done = stats_.iterations;
+      tick.merges_total = inst_.sinks.size();
+      tick.labels_settled = stats_.labels_settled;
+      tick.completions_popped = stats_.completions_popped;
+      controls_->on_merge(tick);
     }
 
     CDST_LOG(kDebug) << "merge comp " << u << " + " << o << " -> " << s

@@ -41,14 +41,21 @@ namespace cdst {
 class DenseStateBudget {
  public:
   explicit DenseStateBudget(std::size_t bytes)
-      : remaining_(static_cast<std::int64_t>(bytes)) {}
+      : initial_(static_cast<std::int64_t>(bytes)),
+        remaining_(initial_),
+        low_water_(initial_) {}
 
   // Movable so session objects holding one stay movable; only valid while
   // no reservation is in flight (sessions never move mid-batch).
   DenseStateBudget(DenseStateBudget&& other) noexcept
-      : remaining_(other.remaining_.load(std::memory_order_relaxed)) {}
+      : initial_(other.initial_),
+        remaining_(other.remaining_.load(std::memory_order_relaxed)),
+        low_water_(other.low_water_.load(std::memory_order_relaxed)) {}
   DenseStateBudget& operator=(DenseStateBudget&& other) noexcept {
+    initial_ = other.initial_;
     remaining_.store(other.remaining_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    low_water_.store(other.low_water_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     return *this;
   }
@@ -60,6 +67,14 @@ class DenseStateBudget {
     while (cur >= want) {
       if (remaining_.compare_exchange_weak(cur, cur - want,
                                            std::memory_order_relaxed)) {
+        // Track the concurrent-reservation high-water mark (as the lowest
+        // remaining level ever observed) so callers can verify that a
+        // bounded in-flight window really bounded peak dense-state memory.
+        std::int64_t low = low_water_.load(std::memory_order_relaxed);
+        while (cur - want < low &&
+               !low_water_.compare_exchange_weak(low, cur - want,
+                                                 std::memory_order_relaxed)) {
+        }
         return true;
       }
     }
@@ -71,19 +86,31 @@ class DenseStateBudget {
                          std::memory_order_relaxed);
   }
 
-  /// Re-initializes the pool size. Only valid while no reservation is in
-  /// flight (the session APIs call it strictly between runs).
+  /// Re-initializes the pool size (and clears the high-water mark). Only
+  /// valid while no reservation is in flight (the session APIs call it
+  /// strictly between runs).
   void reset(std::size_t bytes) {
-    remaining_.store(static_cast<std::int64_t>(bytes),
-                     std::memory_order_relaxed);
+    initial_ = static_cast<std::int64_t>(bytes);
+    remaining_.store(initial_, std::memory_order_relaxed);
+    low_water_.store(initial_, std::memory_order_relaxed);
   }
 
   std::int64_t remaining_bytes() const {
     return remaining_.load(std::memory_order_relaxed);
   }
 
+  /// Largest number of bytes ever reserved concurrently since construction
+  /// or the last reset(). The observable half of the backpressure contract:
+  /// a SolveStream with window W over solves of footprint F never drives
+  /// this past W * F.
+  std::int64_t peak_reserved_bytes() const {
+    return initial_ - low_water_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::int64_t initial_;  ///< pool size; written only at construction/reset
   std::atomic<std::int64_t> remaining_;
+  std::atomic<std::int64_t> low_water_;  ///< min remaining ever observed
 };
 
 /// Priority-queue organization for the simultaneous searches.
@@ -187,15 +214,25 @@ class SolveCancelled : public std::runtime_error {
   SolveCancelled() : std::runtime_error("cost-distance solve cancelled") {}
 };
 
+/// One component-merge observation of a running solve — the solver-side
+/// event the session layer forwards as EventSink::on_solve_merge. Emitted on
+/// the solving thread after every merge; merges_total equals the instance's
+/// sink count, so merges_done == merges_total marks the finished tree.
+struct MergeTick {
+  std::size_t merges_done{0};
+  std::size_t merges_total{0};
+  std::size_t labels_settled{0};      ///< permanent labels so far
+  std::size_t completions_popped{0};  ///< completion labels popped so far
+};
+
 /// Cooperative execution controls for a long-running solve. All members are
 /// optional; a null/empty member disables the corresponding hook.
 struct SolveControls {
   /// Checked every `cancel_poll_interval` queue pops (and once up front);
   /// when set, the solve unwinds by throwing SolveCancelled.
   const std::atomic<bool>* cancel{nullptr};
-  /// Invoked after every component merge with (merges done, merges total);
-  /// total equals the instance's sink count. Called on the solving thread.
-  std::function<void(std::size_t, std::size_t)> on_merge;
+  /// Invoked after every component merge. Called on the solving thread.
+  std::function<void(const MergeTick&)> on_merge;
   std::uint32_t cancel_poll_interval{4096};
 };
 

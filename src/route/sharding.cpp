@@ -48,6 +48,24 @@ ShardGrid make_shard_grid(const RoutingGrid& grid, int shards) {
   return sg;
 }
 
+ShardTile shard_tile(const ShardGrid& tiles, int shard) {
+  CDST_CHECK(shard >= 0 && shard < tiles.num_shards());
+  ShardTile t;
+  t.tx = shard % tiles.tiles_x;
+  t.ty = shard / tiles.tiles_x;
+  // Inverse of shard_of's linear map v * tiles / extent: tile k covers
+  // v in [ceil(k * extent / tiles), ceil((k+1) * extent / tiles)).
+  const auto lo = [](std::int32_t k, std::int32_t extent, std::int32_t n) {
+    const std::int64_t num = static_cast<std::int64_t>(k) * extent;
+    return static_cast<std::int32_t>((num + n - 1) / n);
+  };
+  t.x0 = lo(t.tx, tiles.nx, tiles.tiles_x);
+  t.x1 = lo(t.tx + 1, tiles.nx, tiles.tiles_x);
+  t.y0 = lo(t.ty, tiles.ny, tiles.tiles_y);
+  t.y1 = lo(t.ty + 1, tiles.ny, tiles.tiles_y);
+  return t;
+}
+
 ShardMap assign_nets_to_shards(const RoutingGrid& grid,
                                const Netlist& netlist, int shards) {
   ShardMap map;

@@ -45,6 +45,21 @@ struct ShardGrid {
 /// balanced occupancy). Deterministic; exact: tiles_x * tiles_y == shards.
 ShardGrid make_shard_grid(const RoutingGrid& grid, int shards);
 
+/// Geometry of one shard's tile: its lattice coordinates and the half-open
+/// gcell range [x0, x1) x [y0, y1) it covers. The inverse of
+/// ShardGrid::shard_of (up to its clamping), used by the router's shard
+/// boundary events so observers can localize a shard on the die.
+struct ShardTile {
+  std::int32_t tx{0};  ///< tile column in [0, tiles_x)
+  std::int32_t ty{0};  ///< tile row in [0, tiles_y)
+  std::int32_t x0{0};
+  std::int32_t y0{0};
+  std::int32_t x1{0};
+  std::int32_t y1{0};
+};
+
+ShardTile shard_tile(const ShardGrid& tiles, int shard);
+
 /// Net -> shard partition of a netlist.
 struct ShardMap {
   ShardGrid tiles;

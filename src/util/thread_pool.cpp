@@ -38,6 +38,33 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // Tasks the workers never reached run here, so every submitted task
+  // executes exactly once even under a pool torn down mid-stream (a stream
+  // destructor waiting on its completions then cannot hang).
+  for (const std::function<void()>& task : tasks_) run_task(task);
+  tasks_.clear();
+}
+
+void ThreadPool::run_task(const std::function<void()>& task) {
+  // Tasks run with batch-nesting semantics: a parallel_for issued from
+  // inside a task runs inline serially, exactly like one issued from inside
+  // a batch body (the workers may all be busy with tasks).
+  const bool was_inside = t_inside_batch;
+  t_inside_batch = true;
+  task();
+  t_inside_batch = was_inside;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty() || t_inside_batch) {
+    run_task(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::drain(Batch& batch) {
@@ -62,18 +89,34 @@ void ThreadPool::worker_main() {
   std::uint64_t seen = 0;
   while (true) {
     Batch* batch = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || (batch_ && generation_ != seen); });
-      if (stop_) return;
-      seen = generation_;
-      batch = batch_;
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ && generation_ != seen) || !tasks_.empty();
+      });
+      if (stop_) return;  // leftover tasks run in the destructor
+      if (batch_ != nullptr && generation_ != seen) {
+        // A pending barrier outranks the task queue. Entry is registered
+        // under the lock: the barrier waits only for workers that actually
+        // joined this batch, so it never stalls behind a worker busy with a
+        // long fire-and-forget task it was never needed for.
+        seen = generation_;
+        batch = batch_;
+        ++workers_active_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
-    drain(*batch);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--workers_active_ == 0) done_cv_.notify_all();
+    if (batch != nullptr) {
+      drain(*batch);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--workers_active_ == 0) done_cv_.notify_all();
+      }
+    } else {
+      run_task(task);
     }
   }
 }
@@ -108,15 +151,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::lock_guard<std::mutex> lock(mu_);
     batch_ = &batch;
     ++generation_;
-    workers_active_ = static_cast<int>(workers_.size());
+    // Workers register themselves on entry (worker_main); a worker that is
+    // busy with a task, or never wakes before the work runs out, simply
+    // never joins and is not waited for.
   }
   work_cv_.notify_all();
   drain(batch);
   {
-    // Wait for every worker to leave the batch before its state dies.
+    // Close the batch to new entrants, then wait for the workers that did
+    // join to leave before its stack state dies.
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
     batch_ = nullptr;
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
   }
   if (batch.error) std::rethrow_exception(batch.error);
 }

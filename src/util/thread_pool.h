@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -25,6 +26,11 @@ namespace cdst {
 /// in every parallel_for, so `threads == 1` degenerates to a plain serial
 /// loop with no threads spawned at all. parallel_for calls issued from
 /// inside a worker (nested parallelism) run serially inline on that worker.
+///
+/// Besides the parallel_for barrier primitive, the pool runs fire-and-forget
+/// tasks (submit) for streaming pipelines: tasks and batches share the
+/// workers, with a pending batch taking priority so parallel_for barriers
+/// never starve behind a deep task queue.
 class ThreadPool {
  public:
   /// \param threads total concurrency including the calling thread (>= 1).
@@ -44,19 +50,35 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Enqueues one asynchronous task and returns immediately; some worker
+  /// runs it after any pending parallel_for batch. With no workers
+  /// (threads == 1), or when called from inside a running batch/task, the
+  /// task runs inline on the calling thread before submit returns — the
+  /// same no-deadlock degeneration as nested parallel_for. Tasks must
+  /// arrange their own completion signalling (SolveStream does) and must
+  /// not throw: an escaping exception has no caller to land on and
+  /// terminates. The destructor runs still-queued tasks on the destructing
+  /// thread, so a submitted task always executes exactly once.
+  void submit(std::function<void()> task);
+
  private:
   struct Batch;
 
   void worker_main();
   static void drain(Batch& batch);
+  static void run_task(const std::function<void()>& task);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable work_cv_;  ///< wakes workers on a new batch
+  std::condition_variable work_cv_;  ///< wakes workers on a new batch/task
   std::condition_variable done_cv_;  ///< wakes the caller when workers leave
   Batch* batch_{nullptr};            ///< current batch; guarded by mu_
+  std::deque<std::function<void()>> tasks_;  ///< guarded by mu_
   std::uint64_t generation_{0};      ///< bumped per batch; guarded by mu_
-  int workers_active_{0};            ///< workers still inside the batch
+  /// Workers that registered into the current batch and have not left yet
+  /// (guarded by mu_). The parallel_for barrier waits only on these — a
+  /// worker busy with a task never joins and is never waited for.
+  int workers_active_{0};
   bool stop_{false};
 };
 

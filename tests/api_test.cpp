@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "api/cdst.h"
@@ -18,71 +19,16 @@
 #include "grid/routing_grid.h"
 #include "route/netlist_gen.h"
 #include "route/steiner_oracle.h"
+#include "test_instances.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace cdst {
 namespace {
 
-/// Bundle owning everything a grid instance points to.
-struct GridInstance {
-  std::unique_ptr<RoutingGrid> grid;
-  std::unique_ptr<FutureCost> fc;
-  std::vector<double> cost;
-  std::vector<double> delay;
-  CostDistanceInstance inst;
-};
-
-/// Heap-allocated so the self-referential inst.cost/inst.delay pointers can
-/// never dangle through a return-path move (NRVO is not guaranteed).
-std::unique_ptr<GridInstance> make_grid_instance(std::uint64_t seed, int nx,
-                                                 int ny, int nz,
-                                                 std::size_t num_sinks,
-                                                 double dbif = 2.0) {
-  auto gi = std::make_unique<GridInstance>();
-  gi->grid = std::make_unique<RoutingGrid>(
-      nx, ny, make_default_layer_stack(nz), ViaSpec{});
-  gi->fc = std::make_unique<FutureCost>(*gi->grid);
-  Rng rng(seed);
-  const Graph& g = gi->grid->graph();
-  gi->cost.resize(g.num_edges());
-  gi->delay = gi->grid->edge_delays();
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    gi->cost[e] = gi->grid->base_costs()[e] *
-                  std::exp(rng.uniform_double(0.0, 2.0));
-  }
-  gi->inst.graph = &g;
-  gi->inst.cost = &gi->cost;
-  gi->inst.delay = &gi->delay;
-  gi->inst.dbif = dbif;
-  gi->inst.eta = 0.25;
-  std::set<VertexId> used;
-  auto pick = [&]() {
-    while (true) {
-      const auto x = static_cast<std::int32_t>(rng.uniform(nx));
-      const auto y = static_cast<std::int32_t>(rng.uniform(ny));
-      const VertexId v = gi->grid->vertex_at(x, y, 0);
-      if (used.insert(v).second) return v;
-    }
-  };
-  gi->inst.root = pick();
-  for (std::size_t s = 0; s < num_sinks; ++s) {
-    gi->inst.sinks.push_back(
-        Terminal{pick(), std::exp(rng.uniform_double(-2.0, 2.0))});
-  }
-  return gi;
-}
-
-ChipConfig tiny_chip() {
-  ChipConfig c;
-  c.name = "tiny";
-  c.num_nets = 60;
-  c.num_layers = 4;
-  c.nx = c.ny = 20;
-  c.capacity = 10.0;
-  c.seed = 7;
-  return c;
-}
+using testutil::GridInstance;
+using testutil::make_grid_instance;
+using testutil::tiny_chip;
 
 // ----------------------------------------------------------------- status --
 
@@ -438,6 +384,223 @@ TEST(RouterSession, SetOptionsReroutesWarmFromConvergedState) {
   RouterOptions bad = changed;
   bad.batch_size = 0;
   EXPECT_EQ(session.set_options(bad).code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- event sinks --
+
+namespace {
+
+/// Records every event; the tests below assert ordering guarantees.
+struct RecordingSink final : EventSink {
+  std::vector<SolveMergeEvent> merges;
+  std::vector<JobEvent> jobs;
+  std::vector<RouterShardEvent> shards;
+  std::vector<RouterRoundEvent> rounds;
+  void on_solve_merge(const SolveMergeEvent& e) override {
+    merges.push_back(e);
+  }
+  void on_job(const JobEvent& e) override { jobs.push_back(e); }
+  void on_router_shard(const RouterShardEvent& e) override {
+    shards.push_back(e);
+  }
+  void on_router_round(const RouterRoundEvent& e) override {
+    rounds.push_back(e);
+  }
+};
+
+}  // namespace
+
+TEST(EventSink, SolveEmitsTypedMergeTicks) {
+  const auto gi = make_grid_instance(51, 10, 10, 3, 9);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  CdSolver solver(opts);
+  RecordingSink sink;
+  RunControl control;
+  control.events = &sink;
+  ASSERT_TRUE(solver.solve(gi->inst, control).ok());
+  ASSERT_EQ(sink.merges.size(), gi->inst.sinks.size())
+      << "one merge tick per sink";
+  for (std::size_t i = 0; i < sink.merges.size(); ++i) {
+    EXPECT_EQ(sink.merges[i].merges_done, i + 1);
+    EXPECT_EQ(sink.merges[i].merges_total, gi->inst.sinks.size());
+    if (i > 0) {
+      EXPECT_GE(sink.merges[i].labels_settled,
+                sink.merges[i - 1].labels_settled);
+    }
+  }
+}
+
+TEST(EventSink, BatchEmitsOneJobCompletionPerJob) {
+  std::vector<std::unique_ptr<GridInstance>> gis;
+  std::vector<CdSolver::Job> jobs;
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    gis.push_back(make_grid_instance(s * 31, 8, 8, 3, 3));
+    CdSolver::Job job;
+    job.instance = &gis.back()->inst;
+    job.future_cost = gis.back()->fc.get();
+    jobs.push_back(job);
+  }
+  ThreadPool pool(4);
+  CdSolver solver({}, &pool);
+  RecordingSink sink;
+  RunControl control;
+  control.events = &sink;
+  ASSERT_TRUE(
+      solver.solve_batch(std::span<const CdSolver::Job>(jobs), control).ok());
+  ASSERT_EQ(sink.jobs.size(), jobs.size());
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < sink.jobs.size(); ++i) {
+    EXPECT_EQ(sink.jobs[i].completed, i + 1) << "strictly monotonic count";
+    EXPECT_EQ(sink.jobs[i].submitted, jobs.size());
+    EXPECT_EQ(sink.jobs[i].status, StatusCode::kOk);
+    seen.insert(sink.jobs[i].index);
+  }
+  EXPECT_EQ(seen.size(), jobs.size()) << "each index completes exactly once";
+}
+
+TEST(EventSink, RouterRoundsCarryCongestionAtTheBarrier) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.batch_size = 16;
+
+  Router session(grid, nl, opts);
+  RecordingSink sink;
+  RunControl control;
+  control.events = &sink;
+  ASSERT_TRUE(session.run(2, control).ok());
+
+  std::size_t completes = 0;
+  int last_complete_round = -1;
+  for (const RouterRoundEvent& e : sink.rounds) {
+    EXPECT_EQ(e.nets_total, nl.nets.size());
+    EXPECT_EQ(e.target_round, 2);
+    EXPECT_FALSE(e.cancelled);
+    if (e.round_complete) {
+      EXPECT_EQ(e.nets_done, nl.nets.size());
+      EXPECT_GE(e.ace4, 0.0) << "barrier events carry congestion stats";
+      EXPECT_EQ(e.round, ++last_complete_round);
+      ++completes;
+    } else {
+      EXPECT_LT(e.ace4, 0.0) << "mid-round events carry no congestion";
+      EXPECT_EQ(e.round, last_complete_round + 1)
+          << "no round r+1 event before round r completed";
+    }
+  }
+  EXPECT_EQ(completes, 2u) << "one round_complete per round";
+}
+
+TEST(EventSink, ShardedRoundsEmitShardBoundariesWithTiles) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.shards = 4;
+
+  Router session(grid, nl, opts);
+  RecordingSink sink;
+  RunControl control;
+  control.events = &sink;
+  ASSERT_TRUE(session.run(1, control).ok());
+
+  ASSERT_EQ(sink.shards.size(), 4u) << "one event per shard";
+  std::size_t nets_covered = 0;
+  std::size_t last_done = 0;
+  std::set<std::pair<int, int>> tiles;
+  for (const RouterShardEvent& e : sink.shards) {
+    EXPECT_EQ(e.round, 0);
+    EXPECT_EQ(e.shards, 4);
+    EXPECT_EQ(e.nets_total, nl.nets.size());
+    EXPECT_GE(e.nets_done, last_done) << "monotonic progress";
+    last_done = e.nets_done;
+    nets_covered += e.shard_nets;
+    tiles.insert({e.tile_x, e.tile_y});
+  }
+  EXPECT_EQ(nets_covered, nl.nets.size()) << "shards partition the netlist";
+  EXPECT_EQ(tiles.size(), 4u) << "each shard reports a distinct tile";
+  ASSERT_EQ(sink.rounds.size(), 1u);
+  EXPECT_TRUE(sink.rounds[0].round_complete);
+  EXPECT_GE(sink.rounds[0].ace4, 0.0);
+}
+
+TEST(EventSink, CancelledRunEmitsFinalRoundSummary) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.batch_size = 8;
+
+  // Cancel from inside the sink after the second batch boundary; the run
+  // must still deliver one final cancelled round summary naming the round
+  // the unwind stopped at, with congestion of the state the session kept.
+  struct CancellingSink final : EventSink {
+    CancelToken* token{nullptr};
+    std::size_t boundaries{0};
+    std::vector<RouterRoundEvent> summaries;
+    void on_router_round(const RouterRoundEvent& e) override {
+      if (e.cancelled) {
+        summaries.push_back(e);
+        return;
+      }
+      if (++boundaries == 2) token->request_cancel();
+    }
+  } sink;
+  CancelToken token;
+  sink.token = &token;
+  RunControl control;
+  control.cancel = &token;
+  control.events = &sink;
+
+  Router session(grid, nl, opts);
+  const Status st = session.run(2, control);
+  ASSERT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(session.rounds_completed(), 0);
+  ASSERT_EQ(sink.summaries.size(), 1u)
+      << "exactly one cancelled round summary";
+  const RouterRoundEvent& summary = sink.summaries.back();
+  EXPECT_EQ(summary.round, 0) << "the round the unwind stopped at";
+  EXPECT_EQ(summary.nets_total, nl.nets.size());
+  EXPECT_EQ(summary.nets_done, 16u)
+      << "two committed batches of 8 nets survive the rollback";
+  EXPECT_GE(summary.ace4, 0.0);
+
+  // A sharded session reports the same way (pre-cancelled: round 1 is the
+  // one that never started committing).
+  RouterOptions sharded = opts;
+  sharded.shards = 4;
+  Router session2(grid, nl, sharded);
+  ASSERT_TRUE(session2.run(1).ok());
+  sink.summaries.clear();
+  token.reset();
+  token.request_cancel();
+  ASSERT_EQ(session2.run(1, control).code(), StatusCode::kCancelled);
+  ASSERT_EQ(sink.summaries.size(), 1u);
+  EXPECT_EQ(sink.summaries.back().round, 1);
+  EXPECT_EQ(sink.summaries.back().nets_done, 0u);
+}
+
+TEST(EventSink, LegacyProgressAndTypedSinkBothObserve) {
+  const auto gi = make_grid_instance(61, 10, 10, 3, 6);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  CdSolver solver(opts);
+  RecordingSink sink;
+  std::size_t legacy_calls = 0;
+  RunControl control;
+  control.events = &sink;
+  control.on_progress = [&](const Progress& p) {
+    EXPECT_STREQ(p.stage, "solve");
+    ++legacy_calls;
+  };
+  ASSERT_TRUE(solver.solve(gi->inst, control).ok());
+  EXPECT_EQ(sink.merges.size(), gi->inst.sinks.size());
+  EXPECT_EQ(legacy_calls, gi->inst.sinks.size())
+      << "the deprecated callback is adapted, not dropped";
 }
 
 // ---------------------------------------------------------------- movability --

@@ -1,0 +1,435 @@
+// Tests for the streaming pipeline API (api/solve_stream.h): SolveStream
+// bit-identity with solve_batch at any thread count and poll cadence,
+// strict submission-order delivery, dense-state backpressure through the
+// bounded in-flight window, cancellation mid-stream, and the Engine facade
+// that wires sessions to one shared ThreadPool + DenseStateBudget.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "api/cdst.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "route/netlist_gen.h"
+#include "test_instances.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cdst {
+namespace {
+
+using testutil::GridInstance;
+using testutil::expect_same;
+using testutil::make_grid_instance;
+using testutil::tiny_chip;
+
+struct JobFixture {
+  std::vector<std::unique_ptr<GridInstance>> gis;
+  std::vector<CdSolver::Job> jobs;
+};
+
+JobFixture make_jobs(std::size_t count) {
+  JobFixture f;
+  for (std::uint64_t s = 1; s <= count; ++s) {
+    f.gis.push_back(make_grid_instance(s * 71, 9, 8, 3, 2 + s % 7));
+  }
+  for (std::size_t i = 0; i < f.gis.size(); ++i) {
+    CdSolver::Job job;
+    job.instance = &f.gis[i]->inst;
+    job.future_cost = f.gis[i]->fc.get();
+    job.seed = i + 1;
+    f.jobs.push_back(job);
+  }
+  return f;
+}
+
+// ------------------------------------------------------------ bit-identity --
+
+TEST(SolveStream, MatchesBatchBitIdenticallyAtAnyThreadAndCadence) {
+  const JobFixture f = make_jobs(12);
+
+  std::vector<SolveResult> reference;
+  {
+    CdSolver solver;
+    const auto batch =
+        solver.solve_batch(std::span<const CdSolver::Job>(f.jobs));
+    ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+    reference = *batch;
+  }
+
+  for (const int threads : {1, 2, 4}) {
+    // Cadence 0: never poll until drain; otherwise poll every `cadence`
+    // submits. Delivery order must be submission order regardless.
+    for (const std::size_t cadence : {0u, 1u, 3u}) {
+      ThreadPool pool(threads);
+      CdSolver solver({}, &pool);
+      SolveStream stream = solver.stream({.window = 4});
+      std::vector<SolveResult> got;
+      for (std::size_t i = 0; i < f.jobs.size(); ++i) {
+        ASSERT_TRUE(stream.submit(f.jobs[i]).ok());
+        if (cadence > 0 && (i + 1) % cadence == 0) {
+          while (auto r = stream.poll()) {
+            ASSERT_TRUE(r->ok()) << r->status().to_string();
+            got.push_back(*std::move(*r));
+          }
+        }
+      }
+      for (StatusOr<SolveResult>& r : stream.drain()) {
+        ASSERT_TRUE(r.ok()) << r.status().to_string();
+        got.push_back(*std::move(r));
+      }
+      ASSERT_EQ(got.size(), reference.size())
+          << threads << " threads, cadence " << cadence;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_same(got[i], reference[i], i, "job");
+      }
+      EXPECT_EQ(stream.submitted(), f.jobs.size());
+      EXPECT_EQ(stream.delivered(), f.jobs.size());
+      EXPECT_EQ(stream.pending(), 0u);
+    }
+  }
+}
+
+TEST(SolveStream, EmptyAndInvalidSubmissionsAreSafe) {
+  const auto gi = make_grid_instance(5, 8, 8, 3, 4);
+  CdSolver solver;
+  {
+    SolveStream stream = solver.stream();
+    EXPECT_FALSE(stream.poll().has_value());
+    EXPECT_FALSE(stream.next().has_value());
+    EXPECT_TRUE(stream.drain().empty());
+  }
+  SolveStream stream = solver.stream();
+  CdSolver::Job bad;  // no instance
+  EXPECT_EQ(stream.submit(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.submitted(), 0u) << "rejected jobs must not be enqueued";
+  // The rejection does not poison the stream.
+  ASSERT_TRUE(stream.submit(gi->inst).ok());
+  const auto results = stream.drain();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+}
+
+TEST(SolveStream, MoveAssignmentWaitsForReplacedStreamsLanes) {
+  // Overwriting an active stream must tear it down like the destructor
+  // would — waiting for its in-flight lanes — so no lane outlives the
+  // solver (the ASan run guards the use-after-free this once allowed).
+  const JobFixture f = make_jobs(6);
+  ThreadPool pool(4);
+  CdSolver solver({}, &pool);
+  SolveStream stream = solver.stream({.window = 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(stream.submit(f.jobs[i]).ok());
+  }
+  stream = solver.stream({.window = 2});  // replaced mid-flight
+  EXPECT_EQ(stream.submitted(), 0u) << "fresh stream adopted";
+  ASSERT_TRUE(stream.submit(f.jobs[4]).ok());
+  const auto results = stream.drain();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  // Self-move keeps the stream usable (and must not deadlock).
+  auto& self = stream;
+  stream = std::move(self);
+  ASSERT_TRUE(stream.submit(f.jobs[5]).ok());
+  ASSERT_EQ(stream.drain().size(), 1u);
+}
+
+// ------------------------------------------------------------ backpressure --
+
+TEST(SolveStream, BackpressureBoundsPeakDenseStateBytes) {
+  const auto gi = make_grid_instance(17, 12, 12, 3, 8);
+  DenseStateBudget budget(512u << 20);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  opts.shared_dense_budget = &budget;
+
+  // Footprint of one solve, measured on a serial session.
+  std::int64_t footprint = 0;
+  {
+    CdSolver solver(opts);
+    ASSERT_TRUE(solver.solve(gi->inst).ok());
+    footprint = budget.peak_reserved_bytes();
+    ASSERT_GT(footprint, 0) << "solve should have reserved dense state";
+  }
+
+  // A window of 1 over a 4-thread pool must never hold more than one
+  // solve's reservation at a time, whatever the pool could run.
+  budget.reset(512u << 20);
+  {
+    ThreadPool pool(4);
+    CdSolver solver(opts, &pool);
+    SolveStream stream = solver.stream({.window = 1});
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(stream.submit(gi->inst).ok());
+    for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(budget.peak_reserved_bytes(), footprint)
+      << "window=1 must serialize dense reservations";
+
+  // Window w bounds the peak to w concurrent reservations.
+  budget.reset(512u << 20);
+  {
+    ThreadPool pool(4);
+    CdSolver solver(opts, &pool);
+    SolveStream stream = solver.stream({.window = 3});
+    for (int i = 0; i < 12; ++i) ASSERT_TRUE(stream.submit(gi->inst).ok());
+    for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
+  }
+  EXPECT_LE(budget.peak_reserved_bytes(), 3 * footprint);
+}
+
+// ------------------------------------------------------------ cancellation --
+
+TEST(SolveStream, CancellationMidStreamLeavesSessionReusable) {
+  const JobFixture f = make_jobs(10);
+  ThreadPool pool(2);
+  CdSolver solver({}, &pool);
+
+  CancelToken token;
+  RunControl control;
+  control.cancel = &token;
+  std::size_t accepted = 0;
+  std::size_t cancelled_results = 0;
+  std::size_t ok_results = 0;
+  {
+    SolveStream stream = solver.stream({.window = 2}, control);
+    for (std::size_t i = 0; i < f.jobs.size(); ++i) {
+      const Status st = stream.submit(f.jobs[i]);
+      if (st.ok()) {
+        ++accepted;
+      } else {
+        EXPECT_EQ(st.code(), StatusCode::kCancelled);
+      }
+      if (i == 3) token.request_cancel();
+    }
+    EXPECT_LT(accepted, f.jobs.size()) << "cancel must stop acceptance";
+    std::size_t delivered = 0;
+    for (StatusOr<SolveResult>& r : stream.drain()) {
+      ++delivered;
+      if (r.ok()) {
+        ++ok_results;
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+        ++cancelled_results;
+      }
+    }
+    // Every accepted job produced exactly one in-order result.
+    EXPECT_EQ(delivered, accepted);
+  }
+
+  // The session solves normally afterwards — scratch lanes and the dense
+  // budget all returned home.
+  const StatusOr<SolveResult> again = solver.solve(f.jobs[0]);
+  ASSERT_TRUE(again.ok()) << again.status().to_string();
+  CdSolver fresh;
+  const StatusOr<SolveResult> expect = fresh.solve(f.jobs[0]);
+  ASSERT_TRUE(expect.ok());
+  expect_same(*again, *expect, 0, "post-cancel solve");
+
+  // And a fresh stream on the same session works.
+  SolveStream stream2 = solver.stream({.window = 2});
+  ASSERT_TRUE(stream2.submit(f.jobs[1]).ok());
+  auto results = stream2.drain();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  (void)cancelled_results;
+  (void)ok_results;
+}
+
+TEST(SolveStream, JobEventsArriveSerializedAndMonotonic) {
+  const JobFixture f = make_jobs(8);
+
+  struct Sink final : EventSink {
+    std::vector<JobEvent> jobs;
+    void on_job(const JobEvent& event) override { jobs.push_back(event); }
+  } sink;
+
+  ThreadPool pool(4);
+  CdSolver solver({}, &pool);
+  RunControl control;
+  control.events = &sink;
+  {
+    SolveStream stream = solver.stream({.window = 4}, control);
+    for (const CdSolver::Job& job : f.jobs) {
+      ASSERT_TRUE(stream.submit(job).ok());
+    }
+    for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
+  }
+  ASSERT_EQ(sink.jobs.size(), f.jobs.size());
+  std::set<std::size_t> indexes;
+  for (std::size_t i = 0; i < sink.jobs.size(); ++i) {
+    EXPECT_EQ(sink.jobs[i].completed, i + 1) << "strictly monotonic";
+    EXPECT_EQ(sink.jobs[i].status, StatusCode::kOk);
+    indexes.insert(sink.jobs[i].index);
+  }
+  EXPECT_EQ(indexes.size(), f.jobs.size()) << "each job completes once";
+}
+
+// ----------------------------------------------------------------- engine --
+
+TEST(Engine, VendsSolverSessionsOnSharedPoolAndBudget) {
+  const JobFixture f = make_jobs(6);
+  Engine engine({.threads = 4, .dense_state_budget_bytes = 512u << 20});
+
+  CdSolver vended = engine.make_solver();
+  EXPECT_EQ(vended.options().shared_dense_budget, &engine.dense_budget());
+  const auto batch =
+      vended.solve_batch(std::span<const CdSolver::Job>(f.jobs));
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+  EXPECT_GT(engine.dense_budget().peak_reserved_bytes(), 0)
+      << "vended sessions must draw dense state from the engine pool";
+
+  // Bit-identical to a self-assembled session.
+  CdSolver manual;
+  const auto expect =
+      manual.solve_batch(std::span<const CdSolver::Job>(f.jobs));
+  ASSERT_TRUE(expect.ok());
+  for (std::size_t i = 0; i < expect->size(); ++i) {
+    expect_same((*batch)[i], (*expect)[i], i, "engine job");
+  }
+
+  // Streams vended through the engine draw from the same budget.
+  engine.dense_budget().reset(512u << 20);
+  CdSolver streaming = engine.make_solver();
+  SolveStream stream = streaming.stream({.window = 2});
+  for (const CdSolver::Job& job : f.jobs) {
+    ASSERT_TRUE(stream.submit(job).ok());
+  }
+  std::size_t i = 0;
+  for (StatusOr<SolveResult>& r : stream.drain()) {
+    ASSERT_TRUE(r.ok());
+    expect_same(*r, (*expect)[i], i, "engine stream job");
+    ++i;
+  }
+  EXPECT_GT(engine.dense_budget().peak_reserved_bytes(), 0);
+}
+
+TEST(Engine, VendsRouterSessionsMatchingStandaloneRouter) {
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.seed = 3;
+
+  Engine engine({.threads = 4});
+  Router vended = engine.make_router(grid, nl, opts);
+  ASSERT_TRUE(vended.run(2).ok());
+  EXPECT_EQ(vended.options().oracle.cd.shared_dense_budget,
+            &engine.dense_budget());
+
+  Router manual(grid, nl, opts);
+  ASSERT_TRUE(manual.run(2).ok());
+  const RouterResult a = vended.result();
+  const RouterResult b = manual.result();
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i], b.routes[i]) << "net " << i;
+  }
+  EXPECT_GT(engine.dense_budget().peak_reserved_bytes(), 0);
+}
+
+TEST(EventSinkContract, ThrowingHandlersNeverAlterEngineResults) {
+  // The EventSink contract: handler exceptions are caught at the emission
+  // site — a throwing observer must not kill a stream lane (fire-and-forget
+  // task), leak through solve_batch's Status boundary, or poison results.
+  const JobFixture f = make_jobs(6);
+  struct ThrowingSink final : EventSink {
+    void on_solve_merge(const SolveMergeEvent&) override {
+      throw std::runtime_error("observer bug");
+    }
+    void on_job(const JobEvent&) override {
+      throw std::runtime_error("observer bug");
+    }
+  } sink;
+  RunControl control;
+  control.events = &sink;
+
+  CdSolver reference;
+  ThreadPool pool(4);
+  CdSolver solver({}, &pool);
+
+  const StatusOr<SolveResult> solo = solver.solve(f.jobs[0], control);
+  ASSERT_TRUE(solo.ok()) << solo.status().to_string();
+
+  const auto batch =
+      solver.solve_batch(std::span<const CdSolver::Job>(f.jobs), control);
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+
+  SolveStream stream = solver.stream({.window = 2}, control);
+  for (const CdSolver::Job& job : f.jobs) {
+    ASSERT_TRUE(stream.submit(job).ok());
+  }
+  std::size_t i = 0;
+  for (StatusOr<SolveResult>& r : stream.drain()) {
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    const StatusOr<SolveResult> want = reference.solve(f.jobs[i]);
+    ASSERT_TRUE(want.ok());
+    expect_same(*r, *want, i, "throwing-sink job");
+    ++i;
+  }
+}
+
+// -------------------------------------------------- set_options satellite --
+
+TEST(CdSolverOptions, InstalledSharedBudgetSurvivesSetOptions) {
+  const auto gi = make_grid_instance(33, 10, 10, 3, 6);
+  DenseStateBudget external(512u << 20);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  opts.shared_dense_budget = &external;
+
+  CdSolver solver(opts);
+  ASSERT_TRUE(solver.solve(gi->inst).ok());
+  ASSERT_GT(external.peak_reserved_bytes(), 0);
+
+  // An option change that does not mention the budget keeps the override.
+  SolverOptions changed;
+  changed.future_cost = gi->fc.get();
+  changed.seed = 9;
+  solver.set_options(changed);
+  EXPECT_EQ(solver.options().shared_dense_budget, &external)
+      << "caller-installed budget must survive set_options";
+
+  external.reset(512u << 20);
+  ASSERT_TRUE(solver.solve(gi->inst).ok());
+  EXPECT_GT(external.peak_reserved_bytes(), 0)
+      << "post-set_options solves must still draw from the installed pool";
+}
+
+TEST(CdSolverOptions, BudgetResizeRequestedMidStreamLandsAfterTeardown) {
+  // set_options while a stream is open must defer — not drop — the own-pool
+  // resize: the first engine call after the session is stream-quiescent
+  // applies it. Shrinking the budget to zero makes the deferral observable:
+  // once applied, solves fall back to sparse state (bit-identical results),
+  // and the old 512 MB pool would otherwise still grant dense state.
+  const auto gi = make_grid_instance(45, 10, 10, 3, 6);
+  ThreadPool pool(2);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  CdSolver solver(opts, &pool);
+
+  const StatusOr<SolveResult> dense = solver.solve(gi->inst);
+  ASSERT_TRUE(dense.ok());
+  {
+    SolveStream stream = solver.stream({.window = 2});
+    ASSERT_TRUE(stream.submit(gi->inst).ok());
+    SolverOptions shrunk = opts;
+    shrunk.dense_state_budget_bytes = 0;  // deferred while the stream lives
+    solver.set_options(shrunk);
+    for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
+  }
+  // Stream gone: the next solve applies the resize and must still be
+  // bit-identical (dense/sparse state never changes results).
+  const StatusOr<SolveResult> sparse = solver.solve(gi->inst);
+  ASSERT_TRUE(sparse.ok());
+  expect_same(*sparse, *dense, 0, "post-resize solve");
+}
+
+}  // namespace
+}  // namespace cdst

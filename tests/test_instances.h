@@ -1,0 +1,92 @@
+/// \file tests/test_instances.h
+/// Shared fixtures for the api-layer test suites (api_test, stream_test):
+/// a self-owning grid-backed CostDistanceInstance builder, the tiny router
+/// chip, and the solve-result bit-identity comparator. One definition, so
+/// the suites cannot drift apart on instance shape.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/cost_distance.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "route/netlist_gen.h"
+#include "util/rng.h"
+
+namespace cdst::testutil {
+
+/// Bundle owning everything a grid instance points to.
+struct GridInstance {
+  std::unique_ptr<RoutingGrid> grid;
+  std::unique_ptr<FutureCost> fc;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  CostDistanceInstance inst;
+};
+
+/// Heap-allocated so the self-referential inst.cost/inst.delay pointers can
+/// never dangle through a return-path move (NRVO is not guaranteed).
+inline std::unique_ptr<GridInstance> make_grid_instance(
+    std::uint64_t seed, int nx, int ny, int nz, std::size_t num_sinks,
+    double dbif = 2.0) {
+  auto gi = std::make_unique<GridInstance>();
+  gi->grid = std::make_unique<RoutingGrid>(
+      nx, ny, make_default_layer_stack(nz), ViaSpec{});
+  gi->fc = std::make_unique<FutureCost>(*gi->grid);
+  Rng rng(seed);
+  const Graph& g = gi->grid->graph();
+  gi->cost.resize(g.num_edges());
+  gi->delay = gi->grid->edge_delays();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    gi->cost[e] = gi->grid->base_costs()[e] *
+                  std::exp(rng.uniform_double(0.0, 2.0));
+  }
+  gi->inst.graph = &g;
+  gi->inst.cost = &gi->cost;
+  gi->inst.delay = &gi->delay;
+  gi->inst.dbif = dbif;
+  gi->inst.eta = 0.25;
+  std::set<VertexId> used;
+  auto pick = [&]() {
+    while (true) {
+      const auto x = static_cast<std::int32_t>(rng.uniform(nx));
+      const auto y = static_cast<std::int32_t>(rng.uniform(ny));
+      const VertexId v = gi->grid->vertex_at(x, y, 0);
+      if (used.insert(v).second) return v;
+    }
+  };
+  gi->inst.root = pick();
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    gi->inst.sinks.push_back(
+        Terminal{pick(), std::exp(rng.uniform_double(-2.0, 2.0))});
+  }
+  return gi;
+}
+
+inline ChipConfig tiny_chip() {
+  ChipConfig c;
+  c.name = "tiny";
+  c.num_nets = 60;
+  c.num_layers = 4;
+  c.nx = c.ny = 20;
+  c.capacity = 10.0;
+  c.seed = 7;
+  return c;
+}
+
+/// Solve-result bit-identity: same tree edges, objective, and search work.
+inline void expect_same(const SolveResult& a, const SolveResult& b,
+                        std::size_t index, const char* what) {
+  EXPECT_EQ(a.tree.all_edges(), b.tree.all_edges()) << what << " " << index;
+  EXPECT_DOUBLE_EQ(a.eval.objective, b.eval.objective) << what << " " << index;
+  EXPECT_EQ(a.stats.labels_settled, b.stats.labels_settled)
+      << what << " " << index;
+}
+
+}  // namespace cdst::testutil

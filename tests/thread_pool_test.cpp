@@ -115,6 +115,53 @@ TEST(ThreadPool, ExceptionInSerialModePropagates) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, SubmittedTasksRunExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.submit([&, t] {
+        ++hits[t];
+        ++done;
+      });
+    }
+    // Interleave a barrier batch with the task queue: the batch must not
+    // deadlock against pending tasks (it takes priority on the workers).
+    std::atomic<int> batch_sum{0};
+    pool.parallel_for(0, 64, [&](std::size_t i) {
+      batch_sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(batch_sum.load(), 64 * 63 / 2);
+    // Destruction runs any tasks the workers never reached.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ThreadPool, SubmitRunsInlineWithoutWorkersAndInsideBatches) {
+  // threads == 1: no workers, submit degenerates to a synchronous call.
+  ThreadPool serial(1);
+  bool ran = false;
+  serial.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+
+  // From inside a running batch the task also runs inline (the workers may
+  // all be busy with the batch) — same policy as nested parallel_for.
+  ThreadPool pool(4);
+  std::atomic<int> inline_runs{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    bool task_done = false;
+    pool.submit([&] { task_done = true; });
+    EXPECT_TRUE(task_done) << "submit inside a batch must run inline";
+    ++inline_runs;
+  });
+  EXPECT_EQ(inline_runs.load(), 8);
+}
+
 TEST(ThreadPool, StressManyConcurrentSmallBatches) {
   ThreadPool pool(8);
   std::atomic<long long> sum{0};
