@@ -1,0 +1,482 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the cdst tree.
+
+Checks the conventions the compiler cannot: the Status discipline at the
+session API boundary, the single thread-spawn site, seeded-RNG determinism,
+allocation discipline in the solver hot paths, the raw-mutex ban that keeps
+every lock visible to Clang's thread-safety analysis, suppression hygiene,
+and public-header self-containment.
+
+Rules (each has a stable id, used by the allow directive):
+
+  api-throw     No `throw` in src/api/ — sessions return Status, never
+                throw. Bare rethrows (`throw;`) are always allowed.
+  raw-thread    No std::thread/std::jthread/pthread_create outside
+                src/util/thread_pool.{h,cpp}: one spawn site keeps lifetime
+                and shutdown reasoning in one place.
+  rng           No rand()/srand()/std::random_device in src|bench|examples:
+                results must be deterministic given the documented seeds
+                (use util/rng.h).
+  naked-new     No naked new/delete expressions in the hot paths (src/core,
+                src/graph): allocation goes through containers or
+                make_unique so the scratch-recycling invariants hold.
+  raw-mutex     No std::mutex/condition_variable/lock_guard/unique_lock/
+                scoped_lock outside src/util/thread_annotations.h: all
+                locking goes through cdst::Mutex/MutexLock/CondVar so the
+                -Wthread-safety analysis sees every acquisition.
+  nolint-reason Every NOLINT must name its check and carry a reason:
+                `NOLINT(<check>): <reason>` (same for NOLINTNEXTLINE).
+  tsan-supp     Every suppression entry in tsan.supp must be preceded by a
+                justification comment.
+  header-self   Every header under src/ compiles on its own
+                (g++ -fsyntax-only), so include order can never matter.
+
+Suppressing a finding inline:
+
+    // cdst-lint: allow(<rule>) <reason>
+
+on the offending line, or as a whole-line comment directly above it (the
+directive then covers the first code line after the comment block). The
+reason is mandatory; a bare allow is itself a violation.
+
+Usage:
+    scripts/check_invariants.py            lint the repo (exit 1 on findings)
+    scripts/check_invariants.py --self-test  run the fixture-tree self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ALLOW_RE = re.compile(r"//\s*cdst-lint:\s*allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
+
+# ---------------------------------------------------------------------------
+# Source model: one scanned file, with comments/strings stripped for the
+# code-pattern rules and the original text kept for directive/comment rules.
+
+
+class SourceFile:
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.lines = text.splitlines()
+        self.code_lines = strip_comments_and_strings(text).splitlines()
+        # rule -> set of 1-based line numbers covered by an allow directive
+        self.allowed: dict[str, set[int]] = {}
+        self.bad_directives: list[int] = []
+        self._collect_directives()
+
+    def _collect_directives(self) -> None:
+        pending: list[tuple[str, int]] = []  # (rule, directive line)
+        for i, line in enumerate(self.lines, start=1):
+            stripped = line.strip()
+            m = ALLOW_RE.search(line)
+            if m:
+                if not m.group("reason").strip():
+                    self.bad_directives.append(i)
+                    continue
+                rule = m.group("rule")
+                self.allowed.setdefault(rule, set()).add(i)
+                if stripped.startswith("//"):
+                    pending.append((rule, i))
+                continue
+            if stripped.startswith("//") or not stripped:
+                continue  # comment block continues; directive still pending
+            for rule, _ in pending:
+                self.allowed.setdefault(rule, set()).add(i)
+            pending = []
+
+    def is_allowed(self, rule: str, line_no: int) -> bool:
+        return line_no in self.allowed.get(rule, set())
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line layout
+    so the rule regexes never fire inside documentation or literals."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each yields (rel_path, line_no, rule_id, message).
+
+THROW_RE = re.compile(r"\bthrow\b")
+RETHROW_RE = re.compile(r"\bthrow\s*;")
+THREAD_RE = re.compile(r"std::j?thread\b|\bpthread_create\b")
+RNG_RE = re.compile(r"\b(?:s?rand)\s*\(|std::random_device\b")
+NEW_RE = re.compile(r"\bnew\s+[A-Za-z_:<(]|\bnew\s*\[")
+DELETE_RE = re.compile(r"\bdelete\s*\[?\]?\s*[A-Za-z_*(]")
+MUTEX_RE = re.compile(
+    r"std::(?:shared_|recursive_|timed_)?mutex\b|std::condition_variable"
+    r"(?:_any)?\b|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
+)
+NOLINT_RE = re.compile(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b")
+NOLINT_OK_RE = re.compile(r"\bNOLINT(?:NEXTLINE)?\([\w\-.,: ]+\):\s*\S")
+
+
+def scan_line_rule(src, rule, pattern, message, skip=None):
+    findings = []
+    for i, line in enumerate(src.code_lines, start=1):
+        if not pattern.search(line):
+            continue
+        if skip is not None and skip(line):
+            continue
+        if src.is_allowed(rule, i):
+            continue
+        findings.append((src.rel, i, rule, message))
+    return findings
+
+
+def rule_api_throw(src: SourceFile):
+    if not src.rel.startswith("src/api/"):
+        return []
+    return scan_line_rule(
+        src,
+        "api-throw",
+        THROW_RE,
+        "`throw` in the session API layer: return a Status instead "
+        "(bare `throw;` rethrows are exempt)",
+        skip=lambda line: RETHROW_RE.search(line) and not re.search(
+            r"\bthrow\s+[^;]", line
+        ),
+    )
+
+
+def rule_raw_thread(src: SourceFile):
+    if src.rel in ("src/util/thread_pool.h", "src/util/thread_pool.cpp"):
+        return []
+    return scan_line_rule(
+        src,
+        "raw-thread",
+        THREAD_RE,
+        "thread spawned outside util/thread_pool: route work through "
+        "cdst::ThreadPool so lifetime/shutdown stay centralized",
+    )
+
+
+def rule_rng(src: SourceFile):
+    return scan_line_rule(
+        src,
+        "rng",
+        RNG_RE,
+        "unseeded/libc RNG breaks run-to-run determinism: use util/rng.h "
+        "with a documented seed",
+    )
+
+
+def rule_naked_new(src: SourceFile):
+    if not (src.rel.startswith("src/core/") or src.rel.startswith("src/graph/")):
+        return []
+    findings = []
+    for i, line in enumerate(src.code_lines, start=1):
+        hit = NEW_RE.search(line) or DELETE_RE.search(line)
+        if not hit:
+            continue
+        # Deleted special members (`= delete`) and placement-new-free code
+        # dominate; only flag actual allocation expressions.
+        if re.search(r"=\s*delete\s*[;,)]?", line) and not NEW_RE.search(line):
+            continue
+        if src.is_allowed("naked-new", i):
+            continue
+        findings.append(
+            (
+                src.rel,
+                i,
+                "naked-new",
+                "naked new/delete in a hot path: use containers or "
+                "make_unique so the scratch-recycling invariants hold",
+            )
+        )
+    return findings
+
+
+def rule_raw_mutex(src: SourceFile):
+    if not src.rel.startswith("src/"):
+        return []
+    if src.rel == "src/util/thread_annotations.h":
+        return []
+    return scan_line_rule(
+        src,
+        "raw-mutex",
+        MUTEX_RE,
+        "raw std mutex/lock type: use cdst::Mutex/MutexLock/CondVar "
+        "(util/thread_annotations.h) so -Wthread-safety sees the lock",
+    )
+
+
+def rule_nolint_reason(src: SourceFile):
+    findings = []
+    for i, line in enumerate(src.lines, start=1):
+        if not NOLINT_RE.search(line):
+            continue
+        if NOLINT_OK_RE.search(line):
+            continue
+        if src.is_allowed("nolint-reason", i):
+            continue
+        findings.append(
+            (
+                src.rel,
+                i,
+                "nolint-reason",
+                "NOLINT without `(<check>): <reason>`: name the check and "
+                "justify the suppression (NOLINTBEGIN/END blocks are banned)",
+            )
+        )
+    return findings
+
+
+def rule_bad_directive(src: SourceFile):
+    return [
+        (
+            src.rel,
+            i,
+            "allow-reason",
+            "cdst-lint allow directive without a reason",
+        )
+        for i in src.bad_directives
+    ]
+
+
+LINE_RULES = [
+    rule_api_throw,
+    rule_raw_thread,
+    rule_rng,
+    rule_naked_new,
+    rule_raw_mutex,
+    rule_nolint_reason,
+    rule_bad_directive,
+]
+
+
+def check_tsan_supp(root: Path):
+    findings = []
+    supp = root / "tsan.supp"
+    if not supp.exists():
+        return findings
+    prev_was_comment = False
+    for i, line in enumerate(supp.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            prev_was_comment = False
+            continue
+        if stripped.startswith("#"):
+            prev_was_comment = True
+            continue
+        if not prev_was_comment:
+            findings.append(
+                (
+                    "tsan.supp",
+                    i,
+                    "tsan-supp",
+                    "suppression entry without a justification comment "
+                    "directly above it",
+                )
+            )
+        prev_was_comment = False
+    return findings
+
+
+def check_headers_self_contained(root: Path, headers, jobs=None):
+    if jobs is None:
+        jobs = max(4, (os.cpu_count() or 4))
+    """Compiles each header alone; a header that depends on its includer's
+    includes fails here before it fails a refactor."""
+    findings = []
+    gxx = shutil.which("g++") or shutil.which("clang++")
+    if gxx is None:
+        print("warning: no C++ compiler found; skipping header-self rule",
+              file=sys.stderr)
+        return findings
+
+    def compile_one(header: Path):
+        cmd = [
+            gxx,
+            "-std=c++20",
+            "-fsyntax-only",
+            "-x",
+            "c++",
+            f"-I{root / 'src'}",
+            str(header),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            tail = proc.stderr.strip().splitlines()
+            detail = tail[0] if tail else "compile failed"
+            return (
+                str(header.relative_to(root)),
+                1,
+                "header-self",
+                f"header is not self-contained: {detail}",
+            )
+        return None
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for result in pool.map(compile_one, headers):
+            if result is not None:
+                findings.append(result)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def scanned_files(root: Path):
+    for tree in ("src", "bench", "examples"):
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".h", ".hpp", ".cpp", ".cc"):
+                yield path
+
+
+def run_lint(root: Path, with_headers: bool = True):
+    findings = []
+    headers = []
+    for path in scanned_files(root):
+        rel = path.relative_to(root).as_posix()
+        src = SourceFile(path, rel, path.read_text())
+        for rule in LINE_RULES:
+            findings.extend(rule(src))
+        if path.suffix in (".h", ".hpp") and rel.startswith("src/"):
+            headers.append(path)
+    findings.extend(check_tsan_supp(root))
+    if with_headers:
+        findings.extend(check_headers_self_contained(root, headers))
+    return sorted(findings)
+
+
+def self_test() -> int:
+    """Asserts each rule fires on the fixture tree's known-bad files and
+    stays silent on the known-clean ones."""
+    fixture = REPO_ROOT / "scripts" / "testdata" / "check_invariants"
+    if not fixture.is_dir():
+        print(f"self-test fixture tree missing: {fixture}", file=sys.stderr)
+        return 1
+    findings = run_lint(fixture, with_headers=True)
+    by_file: dict[str, set[str]] = {}
+    for rel, _line, rule, _msg in findings:
+        by_file.setdefault(rel, set()).add(rule)
+
+    expectations = {
+        "src/api/bad_throw.cpp": {"api-throw"},
+        "src/api/allowed_throw.cpp": set(),
+        "src/core/bad_hot_path.cpp": {"naked-new", "rng"},
+        "src/util/bad_locking.cpp": {"raw-mutex", "raw-thread"},
+        "src/grid/bad_nolint.h": {"nolint-reason", "allow-reason"},
+        "src/grid/bad_header.h": {"header-self"},
+        "src/grid/clean.h": set(),
+        "src/api/clean.cpp": set(),
+        "tsan.supp": {"tsan-supp"},
+    }
+
+    failures = 0
+    for rel, expected in expectations.items():
+        got = by_file.pop(rel, set())
+        if got != expected:
+            print(
+                f"self-test FAIL {rel}: expected rules {sorted(expected)}, "
+                f"got {sorted(got)}",
+                file=sys.stderr,
+            )
+            failures += 1
+    for rel, got in by_file.items():
+        print(
+            f"self-test FAIL: unexpected findings in {rel}: {sorted(got)}",
+            file=sys.stderr,
+        )
+        failures += 1
+    if failures == 0:
+        print(f"self-test OK: {len(expectations)} fixtures, "
+              f"{len(findings)} expected findings")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the fixture tree and check rule coverage")
+    parser.add_argument("--no-headers", action="store_true",
+                        help="skip the header self-containment compiles")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree to lint (default: the repo root)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = run_lint(args.root, with_headers=not args.no_headers)
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"\n{len(findings)} invariant violation(s).", file=sys.stderr)
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""clang-tidy over the compile database, with a content-hash result cache.
+
+A full clang-tidy pass over this tree costs minutes; almost all of it is
+re-analyzing translation units whose inputs did not change. This wrapper
+keys each TU on everything that can change its diagnostics:
+
+  - the clang-tidy version string,
+  - every .clang-tidy config in the repo (the root one and the
+    per-directory tightenings),
+  - the TU's compile command from compile_commands.json,
+  - the TU's own bytes,
+  - one global digest over every header in src/ (conservative: any header
+    edit re-analyzes everything — correct by construction, and header
+    edits are the minority of commits).
+
+A TU whose key has a marker in the cache directory is skipped. CI persists
+the cache directory with actions/cache, so a doc-only or test-only push
+re-analyzes nothing.
+
+Usage:
+    scripts/run_tidy_cached.py --build-dir build/tidy \\
+        [--cache-dir .tidy-cache] [--jobs N] [--log-file tidy.log]
+
+Exit status: 0 when every analyzed TU is clean, 1 otherwise (the offending
+diagnostics go to stdout and, when given, --log-file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCANNED_TREES = ("src", "bench", "examples")
+
+
+def sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def global_digest(tidy_version: str) -> str:
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    for config in sorted(REPO_ROOT.rglob(".clang-tidy")):
+        if "build" in config.parts:
+            continue
+        h.update(config.relative_to(REPO_ROOT).as_posix().encode())
+        h.update(config.read_bytes())
+    for header in sorted((REPO_ROOT / "src").rglob("*.h")):
+        h.update(header.relative_to(REPO_ROOT).as_posix().encode())
+        h.update(header.read_bytes())
+    return h.hexdigest()
+
+
+def tu_key(entry: dict, digest: str) -> str:
+    path = Path(entry["file"])
+    h = hashlib.sha256()
+    h.update(digest.encode())
+    h.update(str(path).encode())
+    h.update(entry.get("command", " ".join(entry.get("arguments", []))).encode())
+    h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+def load_compile_db(build_dir: Path) -> list[dict]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        sys.exit(f"no compile_commands.json in {build_dir} "
+                 "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    entries = json.loads(db_path.read_text())
+    keep = []
+    for entry in entries:
+        rel = Path(entry["file"]).resolve()
+        try:
+            tree = rel.relative_to(REPO_ROOT).parts[0]
+        except ValueError:
+            continue  # generated / fetched sources (gtest) are not gated
+        if tree in SCANNED_TREES:
+            keep.append(entry)
+    return keep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, required=True)
+    parser.add_argument("--cache-dir", type=Path,
+                        default=REPO_ROOT / ".tidy-cache")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--log-file", type=Path, default=None)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    args = parser.parse_args()
+
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        sys.exit(f"{args.clang_tidy} not found on PATH")
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True, check=True).stdout.strip()
+
+    entries = load_compile_db(args.build_dir.resolve())
+    digest = global_digest(version)
+    args.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    todo: list[tuple[dict, str]] = []
+    cached = 0
+    for entry in entries:
+        key = tu_key(entry, digest)
+        if (args.cache_dir / key).exists():
+            cached += 1
+        else:
+            todo.append((entry, key))
+    print(f"clang-tidy: {len(entries)} TUs, {cached} cached, "
+          f"{len(todo)} to analyze", flush=True)
+
+    failures: list[str] = []
+
+    def analyze(item: tuple[dict, str]) -> None:
+        entry, key = item
+        rel = Path(entry["file"]).resolve().relative_to(REPO_ROOT)
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", entry["file"]],
+            capture_output=True, text=True)
+        output = (proc.stdout + proc.stderr).strip()
+        if proc.returncode == 0:
+            (args.cache_dir / key).touch()
+            print(f"  ok {rel}", flush=True)
+        else:
+            failures.append(f"== {rel} ==\n{output}\n")
+            print(f"  FAIL {rel}", flush=True)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        list(pool.map(analyze, todo))
+
+    if failures:
+        report = "\n".join(failures)
+        print(report)
+        if args.log_file is not None:
+            args.log_file.write_text(report)
+        print(f"clang-tidy: {len(failures)} TU(s) with diagnostics",
+              file=sys.stderr)
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

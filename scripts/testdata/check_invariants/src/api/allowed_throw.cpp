@@ -1,0 +1,28 @@
+// Fixture: an allow directive with a reason suppresses `api-throw`, and a
+// bare rethrow is always exempt — this file must lint clean.
+#include <stdexcept>
+
+namespace fixture {
+
+struct Unwind {};
+
+int run(int v) {
+  if (v < 0) {
+    // cdst-lint: allow(api-throw) internal unwind: caught by the caller
+    // in this same translation unit and mapped to a status code.
+    throw Unwind{};
+  }
+  return v;
+}
+
+int outer(int v) {
+  try {
+    return run(v);
+  } catch (const Unwind&) {
+    return -1;
+  } catch (...) {
+    throw;  // rethrow: exempt without a directive
+  }
+}
+
+}  // namespace fixture

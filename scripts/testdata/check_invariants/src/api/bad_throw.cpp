@@ -1,0 +1,13 @@
+// Fixture: a throw reaching the session API boundary must trip `api-throw`.
+#include <stdexcept>
+
+namespace fixture {
+
+int parse(int v) {
+  if (v < 0) {
+    throw std::runtime_error("negative");
+  }
+  return v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a clean API file. Mentions of throw, new, rand and std::mutex in
+// comments and string literals must not produce findings.
+//
+// This comment says: throw std::mutex at rand() with new int.
+
+namespace fixture {
+
+inline const char* doc() { return "never throw; never rand(); std::mutex"; }
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: hot-path allocation discipline (`naked-new`) and determinism
+// (`rng`) violations. The commented-out `new` and the "new" inside the
+// string literal must NOT fire — the linter strips comments and strings.
+#include <cstdlib>
+
+namespace fixture {
+
+// new int[4] in a comment: not a finding.
+const char* label() { return "brand new delete rand()"; }
+
+int* alloc(int n) {
+  int* data = new int[n];
+  data[0] = rand();
+  delete[] data;
+  return nullptr;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: uses std::vector without including <vector> — compiles only if
+// the includer happened to pull it in first, so `header-self` must fire.
+#pragma once
+
+namespace fixture {
+
+inline std::vector<int> make() { return {1, 2, 3}; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a NOLINT without `(<check>): <reason>` trips `nolint-reason`,
+// and an allow directive without a reason trips `allow-reason`.
+#pragma once
+
+namespace fixture {
+
+inline int shift(int v) { return v << 1; }  // NOLINT
+
+// cdst-lint: allow(rng)
+inline int next(int v) { return v + 1; }
+
+// Properly formed, must not fire:
+// NOLINTNEXTLINE(bugprone-integer-division): ratio is intentionally floored.
+inline int half(int v) { return v / 2; }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a self-contained header that must pass every rule.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<int> make() { return {1, 2, 3}; }
+
+}  // namespace fixture

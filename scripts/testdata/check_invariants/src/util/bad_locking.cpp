@@ -1,0 +1,27 @@
+// Fixture: a raw std::mutex (`raw-mutex`) and a thread spawned outside the
+// pool (`raw-thread`). Deleted special members must not trip naked-new's
+// delete matcher (and this directory is not a hot path anyway).
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct Counter {
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+
+  std::mutex mu;
+  int value = 0;
+};
+
+void spawn(Counter& c) {
+  std::thread t([&c] { c.bump(); });
+  t.join();
+}
+
+}  // namespace fixture

@@ -25,6 +25,13 @@ class EventSink;  // api/events.h
 /// Thread-safe cancellation flag. The controller calls request_cancel()
 /// (from any thread, including an event handler); the engine observes it
 /// within one poll interval. Reusable across calls via reset().
+///
+/// Deliberately lock-free — the flag is polled from solver hot loops, so it
+/// carries no mutex for the thread-safety analysis to track; relaxed
+/// ordering suffices because the flag is a latch that only ever gates
+/// control flow (cancellation latency, not data, is the contract). reset()
+/// is the one exception: it must not be called concurrently with an engine
+/// call observing the token (the sessions document this).
 class CancelToken {
  public:
   void request_cancel() { flag_.store(true, std::memory_order_relaxed); }

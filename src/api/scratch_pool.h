@@ -16,12 +16,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/run_control.h"
 #include "api/status.h"
 #include "core/cost_distance.h"
+#include "util/thread_annotations.h"
 
 namespace cdst {
 struct SolveMergeEvent;  // api/events.h
@@ -76,7 +76,7 @@ class SolverScratchPool {
 
  private:
   SolverScratch* acquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_.empty()) {
       SolverScratch* s = free_.back();
       free_.pop_back();
@@ -87,13 +87,13 @@ class SolverScratchPool {
   }
 
   void release(SolverScratch* scratch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_.push_back(scratch);
   }
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<SolverScratch>> owned_;
-  std::vector<SolverScratch*> free_;
+  Mutex mu_;
+  std::vector<std::unique_ptr<SolverScratch>> owned_ CDST_GUARDED_BY(mu_);
+  std::vector<SolverScratch*> free_ CDST_GUARDED_BY(mu_);
 };
 
 }  // namespace cdst::detail

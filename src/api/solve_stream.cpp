@@ -1,13 +1,12 @@
 #include "api/solve_stream.h"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "api/events.h"
 #include "api/scratch_pool.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace cdst {
@@ -34,14 +33,16 @@ struct StreamState {
     SolveResult result;
   };
 
-  std::mutex mu;
-  std::condition_variable cv;  ///< completions: wakes submit/next/dtor waits
+  Mutex mu;
+  CondVar cv;  ///< completions: wakes submit/next/dtor waits
   /// Results for jobs [delivered, submitted), front = job `delivered`.
-  std::deque<Slot> slots;
-  std::size_t submitted{0};
-  std::size_t delivered{0};
-  std::size_t completed{0};  ///< finished lanes (monotonic, for events)
-  std::size_t in_flight{0};  ///< dispatched, not yet finished (<= window)
+  std::deque<Slot> slots CDST_GUARDED_BY(mu);
+  std::size_t submitted CDST_GUARDED_BY(mu) = 0;
+  std::size_t delivered CDST_GUARDED_BY(mu) = 0;
+  /// Finished lanes (monotonic, for events).
+  std::size_t completed CDST_GUARDED_BY(mu) = 0;
+  /// Dispatched, not yet finished (<= window).
+  std::size_t in_flight CDST_GUARDED_BY(mu) = 0;
 
   // Backstop only: the normal decrement happens in wait_for_lanes() once
   // the stream is quiescent, because this destructor runs when the *last*
@@ -77,7 +78,8 @@ struct StreamState {
       // Publish + event under one lock: `completed` stays strictly
       // monotonic across delivered events, and sinks are serialized.
       // (Handlers must not call back into the stream; see api/events.h.)
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
+      const StatusCode code = out.status.code();
       slots[index - delivered] = std::move(out);
       --in_flight;
       ++completed;
@@ -86,7 +88,7 @@ struct StreamState {
         event.index = index;
         event.completed = completed;
         event.submitted = submitted;
-        event.status = slots[index - delivered].status.code();
+        event.status = code;
         fan->emit_job(event);
       }
     }
@@ -94,7 +96,7 @@ struct StreamState {
   }
 
   /// Pops the head slot (which must be done) into a delivered result.
-  StatusOr<SolveResult> take_front() {
+  StatusOr<SolveResult> take_front() CDST_REQUIRES(mu) {
     Slot slot = std::move(slots.front());
     slots.pop_front();
     ++delivered;
@@ -144,8 +146,8 @@ void SolveStream::wait_for_lanes() {
     // The stream is the caller's sync point against its borrowed solver:
     // wait for every lane to finish so no task can outlive the solver/pool
     // the caller destroys next. Undelivered results are discarded.
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->in_flight == 0; });
+    MutexLock lock(state_->mu);
+    while (state_->in_flight != 0) state_->cv.wait(state_->mu);
   }
   // Quiescent: no lane holds a dense-budget reservation anymore, so the
   // session may count this stream as gone *now* — lane closures may keep
@@ -172,10 +174,10 @@ Status SolveStream::submit(const CdSolver::Job& job) {
 
   std::size_t index;
   {
-    std::unique_lock<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     // Backpressure: never more than `window` lanes in flight, so peak
     // dense-state reservations stay bounded whatever the pool width.
-    st.cv.wait(lock, [&] { return st.in_flight < st.window; });
+    while (st.in_flight >= st.window) st.cv.wait(st.mu);
     if (st.cancelled()) {
       return Status::Cancelled("stream cancelled; job not accepted");
     }
@@ -203,16 +205,16 @@ Status SolveStream::submit(const CostDistanceInstance& instance) {
 
 std::optional<StatusOr<SolveResult>> SolveStream::poll() {
   detail::StreamState& st = *state_;
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (st.slots.empty() || !st.slots.front().done) return std::nullopt;
   return st.take_front();
 }
 
 std::optional<StatusOr<SolveResult>> SolveStream::next() {
   detail::StreamState& st = *state_;
-  std::unique_lock<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (st.delivered == st.submitted) return std::nullopt;
-  st.cv.wait(lock, [&] { return !st.slots.empty() && st.slots.front().done; });
+  while (st.slots.empty() || !st.slots.front().done) st.cv.wait(st.mu);
   return st.take_front();
 }
 
@@ -225,17 +227,17 @@ std::vector<StatusOr<SolveResult>> SolveStream::drain() {
 }
 
 std::size_t SolveStream::submitted() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->submitted;
 }
 
 std::size_t SolveStream::delivered() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->delivered;
 }
 
 std::size_t SolveStream::pending() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->submitted - state_->delivered;
 }
 

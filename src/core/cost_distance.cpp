@@ -806,6 +806,10 @@ class Solver {
 
     --remaining_;
     if (!root_merge) seed_search(s);
+    // Merge ticks need no lock: a solve is single-threaded, so on_merge is
+    // always invoked on the one solving thread (the session layer is what
+    // serializes ticks from concurrent lanes before they reach an
+    // EventSink — see api/events.h).
     if (controls_ != nullptr && controls_->on_merge) {
       MergeTick tick;
       tick.merges_done = stats_.iterations;

@@ -42,17 +42,18 @@ class DenseStateBudget {
  public:
   explicit DenseStateBudget(std::size_t bytes)
       : initial_(static_cast<std::int64_t>(bytes)),
-        remaining_(initial_),
-        low_water_(initial_) {}
+        remaining_(static_cast<std::int64_t>(bytes)),
+        low_water_(static_cast<std::int64_t>(bytes)) {}
 
   // Movable so session objects holding one stay movable; only valid while
   // no reservation is in flight (sessions never move mid-batch).
   DenseStateBudget(DenseStateBudget&& other) noexcept
-      : initial_(other.initial_),
+      : initial_(other.initial_.load(std::memory_order_relaxed)),
         remaining_(other.remaining_.load(std::memory_order_relaxed)),
         low_water_(other.low_water_.load(std::memory_order_relaxed)) {}
   DenseStateBudget& operator=(DenseStateBudget&& other) noexcept {
-    initial_ = other.initial_;
+    initial_.store(other.initial_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
     remaining_.store(other.remaining_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     low_water_.store(other.low_water_.load(std::memory_order_relaxed),
@@ -61,19 +62,29 @@ class DenseStateBudget {
   }
 
   /// Reserves `bytes` if the pool still holds that much; false otherwise.
+  ///
+  /// Memory ordering: the read-modify-writes publish with release and the
+  /// loads acquire, so any thread that synchronizes with a lane (a stream
+  /// delivering that lane's result, a batch joining its barrier) observes
+  /// the lane's complete accounting — with fully relaxed RMWs a monitoring
+  /// thread could see `remaining` drop without the low-water mark that drop
+  /// implies, transiently understating peak_reserved_bytes() against the
+  /// bound the backpressure tests assert. The low-water mark itself is
+  /// exact, not sampled: every successful CAS knows the true remaining
+  /// level at its own instant (`cur - want`), release() only raises the
+  /// level, so the minimum over those post-CAS values is the true minimum.
   bool try_reserve(std::size_t bytes) {
     const auto want = static_cast<std::int64_t>(bytes);
-    std::int64_t cur = remaining_.load(std::memory_order_relaxed);
+    std::int64_t cur = remaining_.load(std::memory_order_acquire);
     while (cur >= want) {
       if (remaining_.compare_exchange_weak(cur, cur - want,
-                                           std::memory_order_relaxed)) {
-        // Track the concurrent-reservation high-water mark (as the lowest
-        // remaining level ever observed) so callers can verify that a
-        // bounded in-flight window really bounded peak dense-state memory.
-        std::int64_t low = low_water_.load(std::memory_order_relaxed);
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        std::int64_t low = low_water_.load(std::memory_order_acquire);
         while (cur - want < low &&
                !low_water_.compare_exchange_weak(low, cur - want,
-                                                 std::memory_order_relaxed)) {
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
         }
         return true;
       }
@@ -82,21 +93,26 @@ class DenseStateBudget {
   }
 
   void release(std::size_t bytes) {
+    // Release so the reservation's whole accounting history is visible to
+    // whoever acquires this level (see try_reserve's ordering note).
     remaining_.fetch_add(static_cast<std::int64_t>(bytes),
-                         std::memory_order_relaxed);
+                         std::memory_order_acq_rel);
   }
 
   /// Re-initializes the pool size (and clears the high-water mark). Only
   /// valid while no reservation is in flight (the session APIs call it
-  /// strictly between runs).
+  /// strictly between runs); `initial_` is atomic anyway so a monitoring
+  /// thread reading peak_reserved_bytes() during a reset sees a stale value
+  /// rather than a torn one.
   void reset(std::size_t bytes) {
-    initial_ = static_cast<std::int64_t>(bytes);
-    remaining_.store(initial_, std::memory_order_relaxed);
-    low_water_.store(initial_, std::memory_order_relaxed);
+    const auto size = static_cast<std::int64_t>(bytes);
+    initial_.store(size, std::memory_order_relaxed);
+    remaining_.store(size, std::memory_order_release);
+    low_water_.store(size, std::memory_order_release);
   }
 
   std::int64_t remaining_bytes() const {
-    return remaining_.load(std::memory_order_relaxed);
+    return remaining_.load(std::memory_order_acquire);
   }
 
   /// Largest number of bytes ever reserved concurrently since construction
@@ -104,11 +120,14 @@ class DenseStateBudget {
   /// a SolveStream with window W over solves of footprint F never drives
   /// this past W * F.
   std::int64_t peak_reserved_bytes() const {
-    return initial_ - low_water_.load(std::memory_order_relaxed);
+    return initial_.load(std::memory_order_relaxed) -
+           low_water_.load(std::memory_order_acquire);
   }
 
  private:
-  std::int64_t initial_;  ///< pool size; written only at construction/reset
+  /// Pool size; written only at construction/reset, but atomic so
+  /// monitoring reads never race a reset.
+  std::atomic<std::int64_t> initial_;
   std::atomic<std::int64_t> remaining_;
   std::atomic<std::int64_t> low_water_;  ///< min remaining ever observed
 };

@@ -74,7 +74,9 @@ struct ArrayLength {
   std::span<const double> arc_len;  ///< per-arc SoA strip (empty: no plane)
 
   ArrayLength() = default;
-  ArrayLength(std::span<const double> l) : len(l) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit span adapter — the
+  // kernel call sites pass bare length vectors and read better without a cast.
+  ArrayLength(std::span<const double> l) : len(l) {}
   explicit ArrayLength(const ArcCostView& v)
       : len(v.edge_cost()), arc_len(v.arc_cost()) {}
 

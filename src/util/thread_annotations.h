@@ -1,0 +1,154 @@
+/// \file thread_annotations.h
+/// Clang thread-safety annotations and the annotated locking primitives the
+/// whole library uses.
+///
+/// The concurrency invariants of this codebase ("bit-identical at any thread
+/// count", "steady-state solves allocate nothing", "no exception crosses the
+/// api boundary") all rest on a handful of mutexes guarding exactly the right
+/// state. Runtime tests can only sample those invariants; Clang's
+/// -Wthread-safety analysis proves the locking discipline at compile time —
+/// every access to a CDST_GUARDED_BY member is rejected unless the guarding
+/// capability is statically held. The CI thread-safety job builds the tree
+/// with clang and -Wthread-safety -Werror; under GCC (which has no such
+/// analysis) every macro expands to nothing and the wrappers compile down to
+/// the bare std primitives, so the annotations are zero-cost at runtime.
+///
+/// Conventions:
+///  - Every std::mutex / std::condition_variable in the library lives behind
+///    the cdst::Mutex / cdst::CondVar wrappers below (enforced by
+///    scripts/check_invariants.py rule `raw-mutex`): a raw std::mutex member
+///    is invisible to the analysis, so a single one silently exempts its
+///    whole class from checking.
+///  - Data members name their guard: `int x_ CDST_GUARDED_BY(mu_);`.
+///  - Private helpers that expect the caller to hold a lock say so with
+///    CDST_REQUIRES(mu_) instead of re-locking.
+///  - Condition waits are written as explicit `while (!pred) cv.wait(mu);`
+///    loops, not predicate lambdas: the analysis cannot see through a lambda
+///    that a guarded read happens under the lock, the open-coded loop it can.
+///
+/// Reading a -Wthread-safety failure: the message names the member, the
+/// guard it is annotated with, and the lock set the compiler proved at the
+/// access ("reading variable 'tasks_' requires holding mutex 'mu_'"). The
+/// fix is never to silence the warning — either take the lock (MutexLock),
+/// or, if the caller already holds it, move the access into a helper marked
+/// CDST_REQUIRES so the contract is declared instead of assumed.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang implements the analysis attributes; GCC/MSVC ignore the GNU
+// attribute spelling, so gate on __clang__ rather than __has_attribute to
+// keep -Wattributes quiet on other compilers.
+#if defined(__clang__)
+#define CDST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CDST_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (names it in diagnostics).
+#define CDST_CAPABILITY(x) CDST_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define CDST_SCOPED_CAPABILITY CDST_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define CDST_GUARDED_BY(x) CDST_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define CDST_PT_GUARDED_BY(x) CDST_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (and did not hold it on entry).
+#define CDST_ACQUIRE(...) \
+  CDST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry).
+#define CDST_RELEASE(...) \
+  CDST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define CDST_TRY_ACQUIRE(...) \
+  CDST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must already hold the capability.
+#define CDST_REQUIRES(...) \
+  CDST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock prevention).
+#define CDST_EXCLUDES(...) CDST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Declares lock acquisition order between two capabilities.
+#define CDST_ACQUIRED_BEFORE(...) \
+  CDST_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CDST_ACQUIRED_AFTER(...) \
+  CDST_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define CDST_RETURN_CAPABILITY(x) CDST_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: function deliberately opts out of the analysis. Every use
+/// must carry a comment explaining why the discipline cannot be expressed.
+#define CDST_NO_THREAD_SAFETY_ANALYSIS \
+  CDST_THREAD_ANNOTATION(no_thread_safety_analysis)
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define CDST_ASSERT_CAPABILITY(x) CDST_THREAD_ANNOTATION(assert_capability(x))
+
+namespace cdst {
+
+class CondVar;
+
+/// std::mutex with the capability annotations the analysis needs. Same
+/// layout and cost as the raw mutex; lock()/unlock() are for the RAII
+/// wrappers and CondVar below — library code should not call them directly.
+class CDST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CDST_ACQUIRE() { mu_.lock(); }
+  void unlock() CDST_RELEASE() { mu_.unlock(); }
+  bool try_lock() CDST_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a cdst::Mutex — the annotated twin of std::lock_guard.
+/// The analysis treats the guarded capability as held for exactly the
+/// lifetime of this object.
+class CDST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CDST_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CDST_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to cdst::Mutex. wait() declares (via
+/// CDST_REQUIRES) that the caller holds the mutex; like every thread-safety
+/// analysis the capability is modeled as held across the wait even though
+/// the OS releases it while blocked — which is exactly the discipline an
+/// open-coded `while (!pred) cv.wait(mu);` loop needs: the predicate reads
+/// of guarded state before and after the wait are both under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; reacquires before returning.
+  /// Caller must hold `mu` (typically via a live MutexLock).
+  void wait(Mutex& mu) CDST_REQUIRES(mu) {
+    // std::condition_variable only speaks std::unique_lock: adopt the
+    // already-held mutex for the duration of the wait, then release the
+    // unique_lock's ownership claim so the MutexLock destructor stays the
+    // one unlocker.
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cdst

@@ -19,8 +19,8 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next;
   std::size_t end;
   const std::function<void(std::size_t)>* body;
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex error_mu;
+  std::exception_ptr error CDST_GUARDED_BY(error_mu);
 };
 
 ThreadPool::ThreadPool(int threads) {
@@ -33,16 +33,23 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
   // Tasks the workers never reached run here, so every submitted task
   // executes exactly once even under a pool torn down mid-stream (a stream
-  // destructor waiting on its completions then cannot hang).
-  for (const std::function<void()>& task : tasks_) run_task(task);
-  tasks_.clear();
+  // destructor waiting on its completions then cannot hang). The queue is
+  // swapped out under the lock (the workers are gone, but the guarded-member
+  // discipline is unconditional) and run unlocked, so a task that re-enters
+  // submit() cannot deadlock on mu_.
+  std::deque<std::function<void()>> leftovers;
+  {
+    MutexLock lock(mu_);
+    leftovers.swap(tasks_);
+  }
+  for (const std::function<void()>& task : leftovers) run_task(task);
 }
 
 void ThreadPool::run_task(const std::function<void()>& task) {
@@ -61,7 +68,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
   work_cv_.notify_one();
@@ -76,7 +83,7 @@ void ThreadPool::drain(Batch& batch) {
     try {
       (*batch.body)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(batch.error_mu);
+      MutexLock lock(batch.error_mu);
       if (!batch.error) batch.error = std::current_exception();
       // Abandon the remaining indices: later fetch_adds see >= end.
       batch.next.store(batch.end, std::memory_order_relaxed);
@@ -91,10 +98,13 @@ void ThreadPool::worker_main() {
     Batch* batch = nullptr;
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (batch_ && generation_ != seen) || !tasks_.empty();
-      });
+      MutexLock lock(mu_);
+      // Open-coded wait loop: the thread-safety analysis sees the guarded
+      // reads under mu_, which a predicate lambda would hide from it.
+      while (!(stop_ || (batch_ != nullptr && generation_ != seen) ||
+               !tasks_.empty())) {
+        work_cv_.wait(mu_);
+      }
       if (stop_) return;  // leftover tasks run in the destructor
       if (batch_ != nullptr && generation_ != seen) {
         // A pending barrier outranks the task queue. Entry is registered
@@ -112,7 +122,7 @@ void ThreadPool::worker_main() {
     if (batch != nullptr) {
       drain(*batch);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (--workers_active_ == 0) done_cv_.notify_all();
       }
     } else {
@@ -148,7 +158,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   batch.end = end;
   batch.body = &body;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = &batch;
     ++generation_;
     // Workers register themselves on entry (worker_main); a worker that is
@@ -160,11 +170,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   {
     // Close the batch to new entrants, then wait for the workers that did
     // join to leave before its stack state dies.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = nullptr;
-    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    while (workers_active_ != 0) done_cv_.wait(mu_);
   }
-  if (batch.error) std::rethrow_exception(batch.error);
+  std::exception_ptr error;
+  {
+    // All joiners have left the batch, but the guarded-member discipline is
+    // unconditional: read the error slot under its lock.
+    MutexLock lock(batch.error_mu);
+    error = batch.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace cdst

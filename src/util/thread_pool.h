@@ -11,14 +11,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cdst {
 
@@ -68,18 +68,20 @@ class ThreadPool {
   static void drain(Batch& batch);
   static void run_task(const std::function<void()>& task);
 
+  /// Written once in the constructor before any worker can observe it, read
+  /// concurrently afterwards — immutable state, so deliberately unguarded.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< wakes workers on a new batch/task
-  std::condition_variable done_cv_;  ///< wakes the caller when workers leave
-  Batch* batch_{nullptr};            ///< current batch; guarded by mu_
-  std::deque<std::function<void()>> tasks_;  ///< guarded by mu_
-  std::uint64_t generation_{0};      ///< bumped per batch; guarded by mu_
-  /// Workers that registered into the current batch and have not left yet
-  /// (guarded by mu_). The parallel_for barrier waits only on these — a
-  /// worker busy with a task never joins and is never waited for.
-  int workers_active_{0};
-  bool stop_{false};
+  Mutex mu_;
+  CondVar work_cv_;  ///< wakes workers on a new batch/task
+  CondVar done_cv_;  ///< wakes the caller when workers leave
+  Batch* batch_ CDST_GUARDED_BY(mu_) = nullptr;  ///< current batch
+  std::deque<std::function<void()>> tasks_ CDST_GUARDED_BY(mu_);
+  std::uint64_t generation_ CDST_GUARDED_BY(mu_) = 0;  ///< bumped per batch
+  /// Workers that registered into the current batch and have not left yet.
+  /// The parallel_for barrier waits only on these — a worker busy with a
+  /// task never joins and is never waited for.
+  int workers_active_ CDST_GUARDED_BY(mu_) = 0;
+  bool stop_ CDST_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cdst

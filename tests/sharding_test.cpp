@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "api/cdst.h"
@@ -14,6 +16,7 @@
 #include "grid/future_cost.h"
 #include "route/netlist_gen.h"
 #include "route/sharding.h"
+#include "stress.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -340,6 +343,46 @@ TEST(SharedDenseBudget, ReservationsReturnToThePool) {
   budget.release(600);
   budget.release(400);
   EXPECT_EQ(budget.remaining_bytes(), 1000);
+}
+
+TEST(SharedDenseBudget, ConcurrentReserveReleaseTracksExactPeak) {
+  // Regression for the budget's memory-ordering contract: with relaxed
+  // RMWs a monitoring thread could observe `remaining` drop without the
+  // low-water update that drop implies, understating the peak; the
+  // acq_rel/acquire pairs (and the atomic `initial_`) make the read-back
+  // race-free. Hammer the pool from several threads, each holding at most
+  // one unit-sized reservation, and check the invariants a race would
+  // break: the pool refills to its full size, and the recorded peak is at
+  // most threads * unit yet at least one unit (some reserve succeeded).
+  constexpr std::int64_t kUnit = 64;
+  constexpr int kThreads = 4;
+  DenseStateBudget budget(kUnit * kThreads);
+  const int iters = testutil::stress_iters(20000, 2000);
+  std::atomic<std::int64_t> observed_peak{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        if (budget.try_reserve(kUnit)) {
+          // Sample the peak while holding the reservation: the value must
+          // already cover this thread's own outstanding unit.
+          const std::int64_t peak = budget.peak_reserved_bytes();
+          EXPECT_GE(peak, kUnit);
+          std::int64_t seen = observed_peak.load(std::memory_order_relaxed);
+          while (peak > seen && !observed_peak.compare_exchange_weak(
+                                    seen, peak, std::memory_order_relaxed)) {
+          }
+          budget.release(kUnit);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(budget.remaining_bytes(), kUnit * kThreads);
+  EXPECT_GE(observed_peak.load(), kUnit);
+  EXPECT_LE(observed_peak.load(), kUnit * kThreads);
+  EXPECT_LE(budget.peak_reserved_bytes(), kUnit * kThreads);
 }
 
 // ---------------------------------------------------------------------------

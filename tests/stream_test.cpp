@@ -9,14 +9,17 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "api/cdst.h"
 #include "grid/future_cost.h"
 #include "grid/routing_grid.h"
 #include "route/netlist_gen.h"
+#include "stress.h"
 #include "test_instances.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -181,6 +184,83 @@ TEST(SolveStream, BackpressureBoundsPeakDenseStateBytes) {
     for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
   }
   EXPECT_LE(budget.peak_reserved_bytes(), 3 * footprint);
+}
+
+TEST(SolveStream, ConcurrentSubmitAndDrainKeepWindowAccounting) {
+  // Regression for the window accounting under a true producer/consumer
+  // split: one thread submits (blocking on backpressure) while another
+  // drains with a mix of poll() and next(). Delivery must stay in strict
+  // submission order and bit-identical to a serial batch, the dense-state
+  // peak must respect the window even though submit-side waits and
+  // drain-side pops interleave on the same mutex, and the counters must
+  // balance once both sides quiesce.
+  const auto gi = make_grid_instance(23, 11, 10, 3, 6);
+  DenseStateBudget budget(512u << 20);
+  SolverOptions opts;
+  opts.future_cost = gi->fc.get();
+  opts.shared_dense_budget = &budget;
+
+  // Same instance at every seed: one dense footprint, distinct results.
+  const int kJobs = testutil::stress_iters(10, 6);
+  std::vector<CdSolver::Job> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    CdSolver::Job job;
+    job.instance = &gi->inst;
+    job.seed = static_cast<std::uint64_t>(i + 1);
+    jobs.push_back(job);
+  }
+
+  std::int64_t footprint = 0;
+  std::vector<SolveResult> reference;
+  {
+    CdSolver serial(opts);
+    for (const CdSolver::Job& job : jobs) {
+      budget.reset(512u << 20);
+      auto r = serial.solve(job);
+      ASSERT_TRUE(r.ok());
+      reference.push_back(*std::move(r));
+    }
+    footprint = budget.peak_reserved_bytes();
+    ASSERT_GT(footprint, 0);
+  }
+
+  budget.reset(512u << 20);
+  std::vector<SolveResult> delivered;
+  {
+    ThreadPool pool(4);
+    CdSolver solver(opts, &pool);
+    SolveStream stream = solver.stream({.window = 2});
+    std::thread producer([&] {
+      for (const CdSolver::Job& job : jobs) {
+        ASSERT_TRUE(stream.submit(job).ok());
+      }
+    });
+    bool use_poll = true;
+    while (delivered.size() < static_cast<std::size_t>(kJobs)) {
+      std::optional<StatusOr<SolveResult>> r =
+          use_poll ? stream.poll() : stream.next();
+      use_poll = !use_poll;
+      if (!r.has_value()) {
+        std::this_thread::yield();  // producer not done submitting yet
+        continue;
+      }
+      ASSERT_TRUE(r->ok());
+      delivered.push_back(*std::move(*r));
+    }
+    producer.join();
+    EXPECT_EQ(stream.submitted(), static_cast<std::size_t>(kJobs));
+    EXPECT_EQ(stream.delivered(), static_cast<std::size_t>(kJobs));
+    EXPECT_EQ(stream.pending(), 0u);
+    EXPECT_FALSE(stream.poll().has_value());
+    EXPECT_FALSE(stream.next().has_value());
+  }
+  EXPECT_LE(budget.peak_reserved_bytes(), 2 * footprint)
+      << "window=2 exceeded under concurrent submit/drain";
+  for (int i = 0; i < kJobs; ++i) {
+    testutil::expect_same(delivered[static_cast<std::size_t>(i)],
+                          reference[static_cast<std::size_t>(i)],
+                          static_cast<std::size_t>(i), "concurrent stream");
+  }
 }
 
 // ------------------------------------------------------------ cancellation --

@@ -1,0 +1,33 @@
+/// \file tests/stress.h
+/// Sizing knob for the stress-style tests (ThreadPool waves, stream
+/// producer/consumer runs, budget contention loops).
+///
+/// Sanitizer lanes — ThreadSanitizer above all — run instrumented code an
+/// order of magnitude slower than Release, and TSan needs *interleavings*,
+/// not iterations, to find races: a few thousand instrumented operations
+/// explore the same schedules as a million uninstrumented ones. Setting
+/// CDST_STRESS_LIGHT=1 in the environment (the tsan ctest preset does)
+/// switches every stress loop to its reduced size so the lane finishes in
+/// minutes; the Release lane runs the full sizes.
+
+#pragma once
+
+#include <cstdlib>
+
+namespace cdst::testutil {
+
+/// True when the environment asks for reduced stress sizes
+/// (CDST_STRESS_LIGHT set to anything but "" or "0").
+inline bool stress_light() {
+  const char* env = std::getenv("CDST_STRESS_LIGHT");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Picks the iteration count for one stress loop: `full` in normal lanes,
+/// `light` under CDST_STRESS_LIGHT=1.
+inline int stress_iters(int full, int light) {
+  return stress_light() ? light : full;
+}
+
+}  // namespace cdst::testutil

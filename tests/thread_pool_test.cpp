@@ -8,8 +8,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "stress.h"
 #include "util/thread_pool.h"
 
 namespace cdst {
@@ -165,7 +167,8 @@ TEST(ThreadPool, SubmitRunsInlineWithoutWorkersAndInsideBatches) {
 TEST(ThreadPool, StressManyConcurrentSmallBatches) {
   ThreadPool pool(8);
   std::atomic<long long> sum{0};
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = testutil::stress_iters(200, 40);
+  for (int round = 0; round < rounds; ++round) {
     pool.parallel_for(0, 97, [&](std::size_t i) {
       // Mix nested submits into the stress rounds.
       if (i % 31 == 0) {
@@ -174,7 +177,63 @@ TEST(ThreadPool, StressManyConcurrentSmallBatches) {
       sum += static_cast<long long>(i);
     });
   }
-  EXPECT_EQ(sum.load(), 200LL * (97LL * 96LL / 2LL + 4LL * 3LL));
+  EXPECT_EQ(sum.load(), rounds * (97LL * 96LL / 2LL + 4LL * 3LL));
+}
+
+TEST(ThreadPool, StressExternalSubmittersRacingBatches) {
+  // The streaming usage pattern pushed hard: several external threads
+  // submit fire-and-forget tasks while the owning thread keeps running
+  // parallel_for barriers on the same pool. Exercises every lock-ordering
+  // path at once — task queue vs. batch priority, barrier wakeups racing
+  // task wakeups — which is exactly the surface the TSan lane watches.
+  const int kSubmitters = 3;
+  const int per_thread = testutil::stress_iters(400, 60);
+  std::atomic<int> task_runs{0};
+  std::atomic<long long> batch_sum{0};
+  long long expected_batch = 0;
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        for (int t = 0; t < per_thread; ++t) {
+          pool.submit([&] { ++task_runs; });
+        }
+      });
+    }
+    const int waves = testutil::stress_iters(100, 20);
+    for (int wave = 0; wave < waves; ++wave) {
+      const std::size_t n = 1 + static_cast<std::size_t>(wave % 13);
+      pool.parallel_for(0, n, [&](std::size_t i) {
+        batch_sum += static_cast<long long>(i);
+      });
+      expected_batch += static_cast<long long>(n * (n - 1) / 2);
+    }
+    for (std::thread& th : submitters) th.join();
+    // Destruction drains whatever the workers never reached.
+  }
+  EXPECT_EQ(task_runs.load(), kSubmitters * per_thread);
+  EXPECT_EQ(batch_sum.load(), expected_batch);
+}
+
+TEST(ThreadPool, DestructorDrainsLeftoverTasksExactlyOnce) {
+  // Regression for the teardown lock discipline: the destructor used to
+  // walk `tasks_` without holding the pool mutex while workers could still
+  // be popping from it. It now swaps the queue out under the lock and runs
+  // the leftovers privately; flooding a small pool and destroying it
+  // immediately makes "worker pops" and "destructor drain" overlap.
+  constexpr int kTasks = 256;
+  std::vector<std::atomic<int>> hits(kTasks);
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.submit([&hits, t] { ++hits[t]; });
+    }
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
 }
 
 }  // namespace
