@@ -15,13 +15,17 @@ current/baseline ratios exceeds 1 + threshold — per-pair, so a wholesale
 regression in a small suite cannot hide behind a flat larger one, and
 per-median within the pair, so one noisy benchmark cannot fail the fleet.
 Benchmarks present in only one file (renamed/added rows) are listed and
-skipped; a pair whose baseline file is missing is skipped entirely (a new
-suite has no history yet). Exit code 0 otherwise.
+skipped. A pair whose baseline file is missing (a new suite, a fresh repo,
+or an expired CI artifact) is SEEDED: the current results are copied to the
+baseline path, a notice lists every seeded row, and the pair passes — so
+the gate runs unconditionally and the next run has history to diff against,
+instead of the check silently skipping. Exit code 0 otherwise.
 """
 
 import argparse
 import json
 import os
+import shutil
 import statistics
 import sys
 
@@ -75,6 +79,21 @@ def diff_pair(baseline_path, current_path, threshold_pct):
     return med
 
 
+def seed_baseline(baseline_path, current_path):
+    """First run of a suite: adopt the current results as the baseline and
+    pass, loudly listing what was seeded (a silent skip would read as
+    "gate passed" when nothing was checked)."""
+    label = os.path.basename(current_path)
+    print(f"bench_trend [{label}]: no baseline {baseline_path}; seeding it "
+          f"from the current results (nothing to diff yet)")
+    parent = os.path.dirname(baseline_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    shutil.copyfile(current_path, baseline_path)
+    for name, t in sorted(median_times(current_path).items()):
+        print(f"bench_trend [{label}]: seeded {name} = {t:.3f}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+",
@@ -92,7 +111,7 @@ def main():
     for i in range(0, len(args.files), 2):
         baseline, current = args.files[i], args.files[i + 1]
         if not os.path.exists(baseline):
-            print(f"bench_trend: no baseline {baseline}; skipping pair")
+            seed_baseline(baseline, current)
             continue
         med = diff_pair(baseline, current, args.threshold_pct)
         if med is None:

@@ -30,6 +30,14 @@ Rules (each has a stable id, used by the allow directive):
                 justification comment.
   header-self   Every header under src/ compiles on its own
                 (g++ -fsyntax-only), so include order can never matter.
+  status-origin Status::ResourceExhausted / Status::DeadlineExceeded may only
+                be constructed in api/status.h and the helpers in
+                api/scratch_pool.h: these codes carry hard semantics (budget
+                truly exhausted, deadline truly expired), so every origin
+                must flow through the audited helpers.
+  fault-site    Every CDST_FAULT_POINT site name in src/ must appear in the
+                fault-sweep manifest (tests/fault_injection_test.cpp), so no
+                injection site can exist that the sweep never exercises.
 
 Suppressing a finding inline:
 
@@ -173,6 +181,14 @@ MUTEX_RE = re.compile(
 )
 NOLINT_RE = re.compile(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b")
 NOLINT_OK_RE = re.compile(r"\bNOLINT(?:NEXTLINE)?\([\w\-.,: ]+\):\s*\S")
+STATUS_ORIGIN_RE = re.compile(
+    r"Status::(?:ResourceExhausted|DeadlineExceeded)\s*\("
+)
+# Files allowed to construct the origin-restricted statuses: the factory
+# itself and the audited budget/deadline helpers.
+STATUS_ORIGIN_FILES = ("src/api/status.h", "src/api/scratch_pool.h")
+FAULT_POINT_RE = re.compile(r'CDST_FAULT_POINT\(\s*"([^"]+)"')
+FAULT_MANIFEST = "tests/fault_injection_test.cpp"
 
 
 def scan_line_rule(src, rule, pattern, message, skip=None):
@@ -286,6 +302,19 @@ def rule_nolint_reason(src: SourceFile):
     return findings
 
 
+def rule_status_origin(src: SourceFile):
+    if not src.rel.startswith("src/") or src.rel in STATUS_ORIGIN_FILES:
+        return []
+    return scan_line_rule(
+        src,
+        "status-origin",
+        STATUS_ORIGIN_RE,
+        "kResourceExhausted/kDeadlineExceeded constructed outside the "
+        "audited helpers: use detail::resource_exhausted_status / "
+        "detail::deadline_exceeded_status (api/scratch_pool.h)",
+    )
+
+
 def rule_bad_directive(src: SourceFile):
     return [
         (
@@ -305,8 +334,38 @@ LINE_RULES = [
     rule_naked_new,
     rule_raw_mutex,
     rule_nolint_reason,
+    rule_status_origin,
     rule_bad_directive,
 ]
+
+
+def check_fault_sites(root: Path):
+    """Every CDST_FAULT_POINT("name") under src/ must appear (as the quoted
+    site string) in the fault-sweep manifest, so arming "every known site"
+    in the sweep really is every site that exists. Site names live inside
+    string literals, so this scans the raw text, not the stripped code."""
+    findings = []
+    manifest_path = root / FAULT_MANIFEST
+    manifest = manifest_path.read_text() if manifest_path.exists() else ""
+    for path in scanned_files(root):
+        rel = path.relative_to(root).as_posix()
+        if not rel.startswith("src/"):
+            continue
+        for i, line in enumerate(path.read_text().splitlines(), start=1):
+            for m in FAULT_POINT_RE.finditer(line):
+                site = m.group(1)
+                if f'"{site}"' not in manifest:
+                    findings.append(
+                        (
+                            rel,
+                            i,
+                            "fault-site",
+                            f'fault site "{site}" missing from the sweep '
+                            f"manifest ({FAULT_MANIFEST}): every injection "
+                            "site must be exercised by the fault sweep",
+                        )
+                    )
+    return findings
 
 
 def check_tsan_supp(root: Path):
@@ -403,6 +462,7 @@ def run_lint(root: Path, with_headers: bool = True):
         if path.suffix in (".h", ".hpp") and rel.startswith("src/"):
             headers.append(path)
     findings.extend(check_tsan_supp(root))
+    findings.extend(check_fault_sites(root))
     if with_headers:
         findings.extend(check_headers_self_contained(root, headers))
     return sorted(findings)
@@ -429,6 +489,9 @@ def self_test() -> int:
         "src/grid/bad_header.h": {"header-self"},
         "src/grid/clean.h": set(),
         "src/api/clean.cpp": set(),
+        "src/core/bad_status_origin.cpp": {"status-origin"},
+        "src/util/bad_fault_site.cpp": {"fault-site"},
+        "src/util/clean_fault_site.cpp": set(),
         "tsan.supp": {"tsan-supp"},
     }
 

@@ -1,0 +1,13 @@
+// Fixture: constructs an origin-restricted status outside the audited
+// helpers in api/scratch_pool.h -> status-origin.
+#include <string>
+
+namespace cdst {
+struct Status {
+  static Status DeadlineExceeded(const std::string& msg);
+};
+
+Status fake_solve() {
+  return Status::DeadlineExceeded("deadline forged outside the helpers");
+}
+}  // namespace cdst

@@ -1,0 +1,7 @@
+// Fixture: a fault-injection site whose name is absent from the sweep
+// manifest (tests/fault_injection_test.cpp) -> fault-site.
+#define CDST_FAULT_POINT(name) ((void)0)
+
+namespace cdst {
+void unswept_operation() { CDST_FAULT_POINT("fixture.unswept"); }
+}  // namespace cdst

@@ -1,0 +1,7 @@
+// Fixture: a fault-injection site that IS listed in the sweep manifest
+// (tests/fault_injection_test.cpp) -> no findings.
+#define CDST_FAULT_POINT(name) ((void)0)
+
+namespace cdst {
+void swept_operation() { CDST_FAULT_POINT("fixture.swept"); }
+}  // namespace cdst

@@ -1,0 +1,6 @@
+// Fixture manifest for the fault-site rule: the fixture tree's sweep test.
+// Only the one site below is listed, so the unlisted site in
+// src/util/bad_fault_site.cpp must be flagged.
+constexpr const char* kFaultSiteManifest[] = {
+    "fixture.swept",
+};

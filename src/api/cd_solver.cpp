@@ -6,6 +6,7 @@
 
 #include "api/events.h"
 #include "api/scratch_pool.h"
+#include "util/fault_injection.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +30,13 @@ Status solve_into(const CostDistanceInstance& instance,
     return Status::Ok();
   } catch (const SolveCancelled&) {
     return Status::Cancelled("cost-distance solve cancelled");
+  } catch (const SolveDeadlineExceeded& e) {
+    return deadline_exceeded_status(e.what());
+  } catch (const BudgetExhausted& e) {
+    // Only reachable with SolverOptions::strict_shared_budget set.
+    return resource_exhausted_status(e.what());
+  } catch (const InjectedFault& e) {
+    return Status::Unavailable(e.what());
   } catch (const ContractViolation& e) {
     return Status::InvalidArgument(e.what());
   } catch (const std::exception& e) {
@@ -134,6 +142,11 @@ StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
       statuses[i] = Status::Cancelled("batch cancelled before this instance");
       return;
     }
+    if (detail::deadline_expired(control)) {
+      statuses[i] = detail::deadline_exceeded_status(
+          "batch deadline expired before this instance");
+      return;
+    }
     const SolverOptions opts = resolve_job_options(jobs[i]);
     SolveControls controls = detail::make_solve_controls(control);
 
@@ -144,10 +157,17 @@ StatusOr<std::vector<SolveResult>> CdSolver::solve_batch(
     emit_job_event(i);
   };
 
-  if (pool_ != nullptr) {
-    pool_->parallel_for(0, jobs.size(), body);
-  } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i) body(i);
+  // Per-job failures land in statuses[i]; only a fault injected in the pool
+  // layer itself ("pool.task") can escape the barrier, since every body
+  // maps its own exceptions to a Status.
+  try {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, jobs.size(), body);
+    } else {
+      for (std::size_t i = 0; i < jobs.size(); ++i) body(i);
+    }
+  } catch (const InjectedFault& e) {
+    return Status::Unavailable(e.what());
   }
 
   if (cancel_flag != nullptr && cancel_flag->load(std::memory_order_relaxed)) {

@@ -19,6 +19,11 @@
 ///                    barrier (round_complete, with congestion stats), and
 ///                    as the final summary of a cancelled run() (cancelled,
 ///                    so observers see the round the unwind stopped at)
+///   on_fault         api/router.cpp, when a retryable fault unwound part
+///                    of an engine call and the engine is retrying (or
+///                    giving up) — the observable half of the
+///                    fault-tolerance layer (see ARCHITECTURE.md "Failure
+///                    model & recovery")
 ///
 /// Ordering guarantees: events of one engine call are delivered in a single
 /// serialized stream (the sink need not be thread-safe); job `completed`
@@ -98,6 +103,20 @@ struct RouterRoundEvent {
   std::size_t overfull_edges{0};
 };
 
+/// A fault-tolerance boundary: a retryable fault (injected via
+/// util/fault_injection.h, or a real transient failure) unwound part of an
+/// engine call. `retrying` tells observers whether another attempt follows
+/// (the committed state is unchanged either way — retries re-execute
+/// against the same inputs, so results stay bit-identical to a fault-free
+/// run) or the engine is giving up with the carried status.
+struct FaultEvent {
+  const char* stage{""};  ///< "router_shard" (more stages may follow)
+  int round{-1};          ///< absolute session round, -1 outside rounds
+  int attempt{0};         ///< 1-based attempt that just failed
+  bool retrying{false};   ///< true: another attempt follows
+  StatusCode status{StatusCode::kOk};  ///< how the failed attempt ended
+};
+
 /// Typed event observer. Default implementations ignore everything, so a
 /// sink overrides only the boundaries it cares about. Install one via
 /// RunControl::events; the engine serializes all calls within one engine
@@ -119,6 +138,7 @@ class EventSink {
   virtual void on_router_round(const RouterRoundEvent& event) {
     (void)event;
   }
+  virtual void on_fault(const FaultEvent& event) { (void)event; }
 };
 
 namespace detail {
@@ -226,6 +246,14 @@ class EventFan {
     for (int i = 0; i < count_; ++i) {
       try {
         sinks_[i]->on_router_round(event);
+      } catch (...) {
+      }
+    }
+  }
+  void emit_fault(const FaultEvent& event) const {
+    for (int i = 0; i < count_; ++i) {
+      try {
+        sinks_[i]->on_fault(event);
       } catch (...) {
       }
     }

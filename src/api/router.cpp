@@ -1,19 +1,137 @@
 #include "api/router.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "api/events.h"
 #include "api/scratch_pool.h"
 #include "route/sharding.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cdst {
+namespace {
+
+// Checkpoint wire helpers: fixed little-endian layout, independent of host
+// endianness, with explicit bounds-checked reads (a truncated or corrupt
+// buffer turns every later read into a no-op and trips `ok`).
+
+constexpr std::uint32_t kCheckpointMagic = 0x43445354;  // "CDST"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+struct ByteReader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos{0};
+  bool ok{true};
+
+  std::uint32_t u32() {
+    if (bytes.size() - pos < 4 || !ok) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(bytes[pos]) |
+        static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
+        static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
+        static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> RouterCheckpoint::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(48 + route_offsets.size() * 8 + route_edges.size() * 4 +
+              sink_weights.size() * 8 + sink_delays.size() * 8);
+  put_u32(out, kCheckpointMagic);
+  put_u32(out, kCheckpointVersion);
+  put_u64(out, options_seed);
+  put_u32(out, static_cast<std::uint32_t>(rounds_done));
+  put_u32(out, static_cast<std::uint32_t>(weights_round));
+  put_u64(out, route_offsets.size());
+  put_u64(out, route_edges.size());
+  put_u64(out, sink_weights.size());
+  put_u64(out, sink_delays.size());
+  for (const std::uint64_t v : route_offsets) put_u64(out, v);
+  for (const std::uint32_t v : route_edges) put_u32(out, v);
+  for (const double v : sink_weights) put_f64(out, v);
+  for (const double v : sink_delays) put_f64(out, v);
+  return out;
+}
+
+StatusOr<RouterCheckpoint> RouterCheckpoint::from_bytes(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  if (r.u32() != kCheckpointMagic) {
+    return Status::InvalidArgument("checkpoint: bad magic");
+  }
+  if (r.u32() != kCheckpointVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version");
+  }
+  RouterCheckpoint cp;
+  cp.options_seed = r.u64();
+  cp.rounds_done = static_cast<std::int32_t>(r.u32());
+  cp.weights_round = static_cast<std::int32_t>(r.u32());
+  const std::uint64_t n_offsets = r.u64();
+  const std::uint64_t n_edges = r.u64();
+  const std::uint64_t n_weights = r.u64();
+  const std::uint64_t n_delays = r.u64();
+  // The counts came from untrusted bytes: check each against the remaining
+  // payload before any resize (per-count, so the sum cannot overflow), so a
+  // corrupt header can neither drive a huge allocation nor wrap the check.
+  const std::uint64_t remaining = bytes.size() - r.pos;
+  if (!r.ok || n_offsets > remaining / 8 || n_edges > remaining / 4 ||
+      n_weights > remaining / 8 || n_delays > remaining / 8 ||
+      n_offsets * 8 + n_edges * 4 + n_weights * 8 + n_delays * 8 !=
+          remaining) {
+    return Status::InvalidArgument("checkpoint: truncated");
+  }
+  cp.route_offsets.resize(n_offsets);
+  for (std::uint64_t i = 0; i < n_offsets; ++i) {
+    cp.route_offsets[i] = r.u64();
+  }
+  cp.route_edges.resize(n_edges);
+  for (std::uint64_t i = 0; i < n_edges; ++i) cp.route_edges[i] = r.u32();
+  cp.sink_weights.resize(n_weights);
+  for (std::uint64_t i = 0; i < n_weights; ++i) cp.sink_weights[i] = r.f64();
+  cp.sink_delays.resize(n_delays);
+  for (std::uint64_t i = 0; i < n_delays; ++i) cp.sink_delays[i] = r.f64();
+  if (!r.ok || r.pos != bytes.size()) {
+    return Status::InvalidArgument("checkpoint: truncated or trailing bytes");
+  }
+  return cp;
+}
 
 struct Router::Impl {
   Impl(const RoutingGrid& grid_in, const Netlist& netlist_in,
@@ -75,10 +193,10 @@ struct Router::Impl {
     event.overfull_edges = report.overfull_edges;
   }
 
-  /// Final summary of a cancelled run(): observers see the round the unwind
-  /// stopped at (not yet counted by rounds_done) plus how much of it the
-  /// committed state kept, so a monitoring pipeline never loses track of
-  /// where a session stands after cancellation.
+  /// Final summary of a cancelled (or deadline-expired) run(): observers
+  /// see the round the unwind stopped at (not yet counted by rounds_done)
+  /// plus how much of it the committed state kept, so a monitoring pipeline
+  /// never loses track of where a session stands after an early return.
   void emit_cancel_summary(const detail::EventFan& fan, int target) {
     if (!fan.active()) return;
     RouterRoundEvent event;
@@ -111,6 +229,11 @@ struct Router::Impl {
           emit_cancel_summary(fan, target);
           return Status::Cancelled("router run cancelled");
         }
+        if (detail::deadline_expired(control)) {
+          emit_cancel_summary(fan, target);
+          return detail::deadline_exceeded_status(
+              "router run deadline expired at a round boundary");
+        }
         // Lagrangean step at the round boundary: slacks of the committed
         // routes drive the delay-weight multipliers of this round. Guarded
         // per absolute round so a cancel/resume cycle never double-steps
@@ -127,10 +250,11 @@ struct Router::Impl {
         }
         const Status st = route_round(rounds_done, target, control, fan);
         if (!st.ok()) {
-          if (st.code() == StatusCode::kCancelled) {
+          if (st.code() == StatusCode::kCancelled ||
+              st.code() == StatusCode::kDeadlineExceeded) {
             emit_cancel_summary(fan, target);
           }
-          return st;
+          return Status::Annotate(st, "Router::run");
         }
         if (fan.active()) {
           // Round barrier: every update of the round is committed.
@@ -155,6 +279,14 @@ struct Router::Impl {
         }
       }
       return Status::Ok();
+    } catch (const SolveDeadlineExceeded& e) {
+      return detail::deadline_exceeded_status(e.what());
+    } catch (const BudgetExhausted& e) {
+      // Only reachable with SolverOptions::strict_shared_budget set; the
+      // unwound round never touched committed state.
+      return detail::resource_exhausted_status(e.what());
+    } catch (const InjectedFault& e) {
+      return Status::Unavailable(e.what());
     } catch (const ContractViolation& e) {
       return Status::InvalidArgument(e.what());
     } catch (const std::exception& e) {
@@ -221,9 +353,18 @@ struct Router::Impl {
     Mutex progress_mu;
     std::size_t nets_done = 0;  // guarded by progress_mu (a local, so the
                                 // guard is convention, not analysis-checked)
+    // Shards the current attempt completed. A faulted attempt leaves its
+    // incomplete shards unmarked; the retry re-executes exactly those.
+    // Re-execution is safe because a shard's outcomes are a pure function
+    // of the frozen round inputs (snapshot prices, committed routes,
+    // per-net seeds), so a retried round is bit-identical to a fault-free
+    // one — the net-order merge below never sees the difference.
+    std::vector<std::uint8_t> shard_done(shard_map.nets.size(), 0);
 
     const std::function<void(std::size_t)> route_shard =
         [&](std::size_t sh) {
+          if (shard_done[sh] != 0) return;
+          CDST_FAULT_POINT("router.shard");
           const std::vector<std::uint32_t>& mine = shard_map.nets[sh];
           // One exclusion map per shard task, recycled across its nets.
           SparseMap<double> excluded;
@@ -236,6 +377,7 @@ struct Router::Impl {
               // parallel_for boundary below and mapped to kCancelled.
               throw SolveCancelled();
             }
+            throw_if_deadline_expired(&controls);
             // The net prices against the snapshot minus its own committed
             // usage — the snapshot-world equivalent of ripping it up.
             excluded.clear();
@@ -266,13 +408,52 @@ struct Router::Impl {
             event.nets_total = num_nets;
             fan.emit_router_shard(event);
           }
+          shard_done[sh] = 1;
         };
-    try {
-      pool->parallel_for(0, shard_map.nets.size(), route_shard);
-    } catch (const SolveCancelled&) {
-      return Status::Cancelled(
-          "router run cancelled during a sharded round; committed state "
-          "unchanged");
+    // Bounded retry around the shard fan-out: a retryable (injected or
+    // transient) fault fails only the shards it interrupted; those
+    // re-execute serially on the next attempt while completed shards are
+    // skipped via shard_done, never re-emitting their shard events.
+    // Cancellation and deadlines are not retried — they unwind to the
+    // previous round boundary as before. BudgetExhausted deliberately
+    // propagates to run()'s status mapping (retrying could not help: the
+    // footprint exceeds the whole budget).
+    constexpr int kMaxShardAttempts = 3;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (attempt == 1) {
+          pool->parallel_for(0, shard_map.nets.size(), route_shard);
+        } else {
+          for (std::size_t sh = 0; sh < shard_map.nets.size(); ++sh) {
+            route_shard(sh);
+          }
+        }
+        break;
+      } catch (const SolveCancelled&) {
+        return Status::Cancelled(
+            "router run cancelled during a sharded round; committed state "
+            "unchanged");
+      } catch (const SolveDeadlineExceeded&) {
+        return detail::deadline_exceeded_status(
+            "router run deadline expired during a sharded round; committed "
+            "state unchanged");
+      } catch (const InjectedFault& e) {
+        const bool retrying = attempt < kMaxShardAttempts;
+        if (fan.active()) {
+          FaultEvent event;
+          event.stage = "router_shard";
+          event.round = round;
+          event.attempt = attempt;
+          event.retrying = retrying;
+          event.status = StatusCode::kUnavailable;
+          fan.emit_fault(event);
+        }
+        if (!retrying) {
+          return Status::Unavailable(
+              std::string("sharded round gave up after 3 attempts: ") +
+              e.what());
+        }
+      }
     }
 
     // Round barrier: merge every shard's deltas in net order. The serial
@@ -307,6 +488,10 @@ struct Router::Impl {
       if (control.cancel != nullptr && control.cancel->cancelled()) {
         return Status::Cancelled("router run cancelled at a batch boundary");
       }
+      if (detail::deadline_expired(control)) {
+        return detail::deadline_exceeded_status(
+            "router run deadline expired at a batch boundary");
+      }
       // Rip up the whole batch so its nets price edges without their own
       // (or each other's previous) usage, then route against the frozen
       // snapshot — in parallel when the pool has workers.
@@ -323,6 +508,7 @@ struct Router::Impl {
               // parallel_for boundary below and mapped to kCancelled.
               throw SolveCancelled();
             }
+            throw_if_deadline_expired(&controls);
             outcomes[i - lo] =
                 route_one_net(i, round, /*pricing=*/nullptr, controls);
           };
@@ -339,6 +525,14 @@ struct Router::Impl {
         } catch (const SolveCancelled&) {
           return Status::Cancelled(
               "router run cancelled mid-batch; batch rolled back");
+        } catch (const SolveDeadlineExceeded&) {
+          return detail::deadline_exceeded_status(
+              "router run deadline expired mid-batch; batch rolled back");
+        } catch (const InjectedFault& e) {
+          // The batched discipline has no retry (batches mutate committed
+          // state in place); the batch is rolled back, so the session is
+          // coherent and the caller may simply run() again.
+          return Status::Unavailable(e.what());
         }
         // Anything else propagates to run()'s status mapping.
       }
@@ -474,6 +668,91 @@ const std::vector<double>& Router::sink_weights() const {
 
 const std::vector<double>& Router::sink_delays() const {
   return impl_->sink_delays;
+}
+
+RouterCheckpoint Router::checkpoint() const {
+  const Impl& impl = *impl_;
+  RouterCheckpoint cp;
+  cp.options_seed = impl.options.seed;
+  cp.rounds_done = impl.rounds_done;
+  cp.weights_round = impl.weights_round;
+  cp.route_offsets.reserve(impl.routes.size() + 1);
+  cp.route_offsets.push_back(0);
+  std::size_t total_edges = 0;
+  for (const std::vector<EdgeId>& route : impl.routes) {
+    total_edges += route.size();
+    cp.route_offsets.push_back(total_edges);
+  }
+  cp.route_edges.reserve(total_edges);
+  for (const std::vector<EdgeId>& route : impl.routes) {
+    cp.route_edges.insert(cp.route_edges.end(), route.begin(), route.end());
+  }
+  cp.sink_weights = impl.sink_weights;
+  cp.sink_delays = impl.sink_delays;
+  return cp;
+}
+
+Status Router::restore(const RouterCheckpoint& cp) {
+  Impl& impl = *impl_;
+  // Validate everything against this session's grid and netlist before
+  // touching any state, so a failed restore leaves the session unchanged.
+  if (cp.options_seed != impl.options.seed) {
+    return Status::FailedPrecondition(
+        "checkpoint was taken under a different options.seed; replaying "
+        "rounds under this session's seed could not reproduce the "
+        "uninterrupted run");
+  }
+  if (cp.rounds_done < 0 || cp.weights_round < 0 ||
+      cp.weights_round > cp.rounds_done) {
+    return Status::InvalidArgument("checkpoint: bad round indexes");
+  }
+  const std::size_t num_nets = impl.netlist.nets.size();
+  const std::size_t num_sinks = impl.sink_offset[num_nets];
+  if (cp.route_offsets.size() != num_nets + 1 ||
+      cp.route_offsets.front() != 0 ||
+      cp.route_offsets.back() != cp.route_edges.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: route offsets do not match this netlist");
+  }
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    if (cp.route_offsets[i] > cp.route_offsets[i + 1]) {
+      return Status::InvalidArgument(
+          "checkpoint: route offsets not monotonic");
+    }
+  }
+  if (cp.sink_weights.size() != num_sinks ||
+      cp.sink_delays.size() != num_sinks) {
+    return Status::InvalidArgument(
+        "checkpoint: sink arrays do not match this netlist");
+  }
+  const std::size_t num_edges = impl.grid.graph().num_edges();
+  for (const std::uint32_t e : cp.route_edges) {
+    if (e >= num_edges) {
+      return Status::InvalidArgument(
+          "checkpoint: route edge out of range for this grid");
+    }
+  }
+
+  for (std::size_t i = 0; i < num_nets; ++i) {
+    impl.routes[i].assign(
+        cp.route_edges.begin() +
+            static_cast<std::ptrdiff_t>(cp.route_offsets[i]),
+        cp.route_edges.begin() +
+            static_cast<std::ptrdiff_t>(cp.route_offsets[i + 1]));
+  }
+  impl.sink_weights = cp.sink_weights;
+  impl.sink_delays = cp.sink_delays;
+  impl.rounds_done = cp.rounds_done;
+  impl.weights_round = cp.weights_round;
+  impl.round_nets_committed = 0;
+  // Congestion prices are a pure function of the committed usage: rebuild
+  // them from the restored routes (the same discipline set_options uses), so
+  // the restored session prices rounds exactly like the uninterrupted one.
+  impl.costs = CongestionCosts(impl.grid, impl.options.congestion);
+  for (const std::vector<EdgeId>& route : impl.routes) {
+    if (!route.empty()) impl.costs.add_usage(route, +1.0);
+  }
+  return Status::Ok();
 }
 
 // Legacy one-shot wrapper (declared deprecated in route/router.h).

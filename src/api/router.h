@@ -27,7 +27,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "api/run_control.h"
@@ -37,6 +39,39 @@
 namespace cdst {
 
 class ThreadPool;
+
+/// Serializable snapshot of a Router session's round state, taken at a
+/// round barrier (Router::checkpoint) and replayed into a fresh session
+/// over the same grid/netlist (Router::restore). Everything the Lagrangean
+/// iteration accumulates is either stored here or a pure function of it:
+/// congestion prices/usage are rebuilt from the routes, per-net seeds
+/// derive from (options.seed, net id, absolute round), so a restored
+/// session continues bit-identically to one that was never interrupted.
+///
+/// The struct is plain data; to_bytes()/from_bytes() give it a versioned,
+/// endianness-fixed wire form (the same layout a future off-process round
+/// protocol would ship between workers).
+struct RouterCheckpoint {
+  /// RouterOptions::seed the state was produced under. restore() refuses a
+  /// mismatch: replaying rounds under a different seed could not reproduce
+  /// the uninterrupted run.
+  std::uint64_t options_seed{0};
+  std::int32_t rounds_done{0};
+  std::int32_t weights_round{0};
+  /// Per-net routes, flattened: net i owns route_edges
+  /// [route_offsets[i], route_offsets[i+1]).
+  std::vector<std::uint64_t> route_offsets;
+  std::vector<std::uint32_t> route_edges;
+  std::vector<double> sink_weights;  ///< Lagrange multipliers, flat
+  std::vector<double> sink_delays;   ///< committed route delays, flat
+
+  /// Versioned little-endian byte serialization (magic + version header).
+  std::vector<std::uint8_t> to_bytes() const;
+  /// Parses bytes produced by to_bytes(); kInvalidArgument on truncated,
+  /// corrupt or version-mismatched input.
+  static StatusOr<RouterCheckpoint> from_bytes(
+      std::span<const std::uint8_t> bytes);
+};
 
 class Router {
  public:
@@ -87,6 +122,21 @@ class Router {
   const std::vector<double>& sink_weights() const;
   /// Per-sink delays of the committed routes, flattened in netlist order.
   const std::vector<double>& sink_delays() const;
+
+  /// Snapshot of the committed round state. Valid after any run() —
+  /// including one that returned kCancelled / kDeadlineExceeded, whose
+  /// committed state is the last round barrier. restore()ing the snapshot
+  /// into a session over the same grid/netlist/options and running the
+  /// remaining rounds reproduces the uninterrupted run bit-identically.
+  RouterCheckpoint checkpoint() const;
+
+  /// Replaces the session's accumulated state (routes, multipliers, delays,
+  /// round index; prices are rebuilt from the routes) with the checkpoint.
+  /// kInvalidArgument on a malformed checkpoint (shape/bounds mismatches
+  /// against this session's grid and netlist), kFailedPrecondition when the
+  /// checkpoint was taken under a different options.seed. On failure the
+  /// session is unchanged.
+  Status restore(const RouterCheckpoint& checkpoint);
 
  private:
   struct Impl;

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 namespace cdst {
 
@@ -60,6 +62,11 @@ struct Progress {
   int total_rounds{0};
 };
 
+/// The substitute for RunControl::cancel_poll_interval == 0 ("0 means the
+/// default"), applied once in detail::make_solve_controls so the core never
+/// sees a zero interval.
+inline constexpr std::uint32_t kDefaultCancelPollInterval = 4096;
+
 /// Per-call execution controls. Default-constructed RunControl means "run to
 /// completion, report nothing" — exactly the legacy behavior.
 struct RunControl {
@@ -79,9 +86,16 @@ struct RunControl {
   /// pre-event behavior. May be combined with `events` (both then observe).
   /// Invoked serialized, on the thread that made the observation.
   std::function<void(const Progress&)> on_progress;
-  /// Queue pops between cancellation checks inside one cost-distance solve
-  /// (responsiveness/overhead trade-off; 0 means the default).
-  std::uint32_t cancel_poll_interval{4096};
+  /// Monotonic deadline for the engine call, polled at the same points as
+  /// `cancel` (solver queue pops, router batch/round boundaries, stream job
+  /// starts). Expiry returns kDeadlineExceeded with the same
+  /// partial-progress guarantees as cancellation: committed state stays
+  /// coherent and the session remains usable. Unset means no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Queue pops between cancellation/deadline checks inside one
+  /// cost-distance solve (responsiveness/overhead trade-off; 0 means the
+  /// default, kDefaultCancelPollInterval).
+  std::uint32_t cancel_poll_interval{kDefaultCancelPollInterval};
 };
 
 }  // namespace cdst

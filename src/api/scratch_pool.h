@@ -15,7 +15,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "api/run_control.h"
@@ -30,16 +32,42 @@ struct SolveMergeEvent;  // api/events.h
 namespace cdst::detail {
 
 /// The one mapping from a caller's RunControl onto the core solver's
-/// cooperative controls (cancel flag + poll interval; event wiring stays
-/// call-site specific). All session objects use this, so their cancellation
-/// semantics cannot drift apart.
+/// cooperative controls (cancel flag + deadline + poll interval; event
+/// wiring stays call-site specific). All session objects use this, so their
+/// cancellation/deadline semantics cannot drift apart — including the
+/// "cancel_poll_interval == 0 means the default" substitution, which
+/// happens here and nowhere else.
 inline SolveControls make_solve_controls(const RunControl& control) {
   SolveControls controls;
   if (control.cancel != nullptr) controls.cancel = &control.cancel->flag();
-  if (control.cancel_poll_interval > 0) {
-    controls.cancel_poll_interval = control.cancel_poll_interval;
-  }
+  controls.deadline = control.deadline;
+  controls.cancel_poll_interval = control.cancel_poll_interval > 0
+                                      ? control.cancel_poll_interval
+                                      : kDefaultCancelPollInterval;
   return controls;
+}
+
+/// True iff the control's deadline has passed (no deadline never expires).
+/// The boundary-check twin of core-side deadline_expired(SolveControls*):
+/// sessions call this at batch/round/job boundaries, where there is no
+/// SolveControls in scope.
+inline bool deadline_expired(const RunControl& control) {
+  return control.deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *control.deadline;
+}
+
+// The one origin of the kDeadlineExceeded / kResourceExhausted codes
+// outside status.h (enforced by scripts/check_invariants.py rule
+// `status-origin`): both codes carry machine semantics — "the deadline you
+// set expired" and "this can never fit, do not retry" — that would decay
+// into noise if ad-hoc call sites could mint them for other conditions.
+
+inline Status deadline_exceeded_status(std::string_view msg) {
+  return Status::DeadlineExceeded(msg);
+}
+
+inline Status resource_exhausted_status(std::string_view msg) {
+  return Status::ResourceExhausted(msg);
 }
 
 /// Runs one solve against leased scratch and maps every failure mode onto

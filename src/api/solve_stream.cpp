@@ -6,6 +6,7 @@
 
 #include "api/events.h"
 #include "api/scratch_pool.h"
+#include "util/fault_injection.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -67,11 +68,23 @@ struct StreamState {
     Slot out;
     if (cancelled()) {
       out.status = Status::Cancelled("stream cancelled before this job");
-    } else {
-      const SolveControls controls = make_solve_controls(control);
-      const SolverScratchPool::Lease lease = scratch->lease();
+    } else if (deadline_expired(control)) {
       out.status =
-          solve_into(*instance, opts, lease.get(), &controls, &out.result);
+          deadline_exceeded_status("stream deadline expired before this job");
+    } else {
+      try {
+        // Lanes run as fire-and-forget pool tasks, outside any parallel_for
+        // barrier, so the dispatch fault site lives inside the lane body
+        // where the unwind lands in this slot's Status instead of
+        // terminating a worker.
+        CDST_FAULT_POINT("stream.dispatch");
+        const SolveControls controls = make_solve_controls(control);
+        const SolverScratchPool::Lease lease = scratch->lease();
+        out.status =
+            solve_into(*instance, opts, lease.get(), &controls, &out.result);
+      } catch (const InjectedFault& e) {
+        out.status = Status::Unavailable(e.what());
+      }
     }
     out.done = true;
     {

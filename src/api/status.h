@@ -26,6 +26,15 @@ enum class StatusCode : std::uint8_t {
   kInvalidArgument,   ///< malformed instance / options (precondition failed)
   kFailedPrecondition,///< session not in a state where the call is legal
   kInternal,          ///< unexpected failure inside the engine
+  /// A RunControl deadline expired before the call completed; committed
+  /// state is coherent, exactly as after kCancelled.
+  kDeadlineExceeded,
+  /// A capacity budget can never satisfy the request (waiting would not
+  /// help); distinct from kUnavailable, which is worth retrying.
+  kResourceExhausted,
+  /// A transient fault (injected or real) unwound the call after bounded
+  /// retries; the session stays reusable and a later retry may succeed.
+  kUnavailable,
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -35,6 +44,9 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -56,6 +68,30 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  /// kDeadlineExceeded / kResourceExhausted carry semantics the whole
+  /// retry/backoff machinery branches on, so they may only originate from
+  /// the deadline/budget helpers in api/scratch_pool.h — enforced by
+  /// scripts/check_invariants.py rule `status-origin`.
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+
+  /// Returns `status` with "context: " prepended to its message — call-site
+  /// context without changing the code (OK statuses pass through untouched,
+  /// so annotation can sit unconditionally on a return path).
+  static Status Annotate(const Status& status, std::string_view context) {
+    if (status.ok() || context.empty()) return status;
+    std::string msg(context);
+    msg += ": ";
+    msg += status.message();
+    return Status(status.code(), msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

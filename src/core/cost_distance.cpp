@@ -1,15 +1,19 @@
 #include "core/cost_distance.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <span>
+#include <string>
+#include <thread>
 
 #include "geom/nearest.h"
 #include "geom/rect.h"
 #include "graph/dijkstra.h"
 #include "util/d_ary_heap.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/prefetch.h"
 #include "util/rng.h"
@@ -283,6 +287,23 @@ SolverScratch::~SolverScratch() = default;
 SolverScratch::SolverScratch(SolverScratch&&) noexcept = default;
 SolverScratch& SolverScratch::operator=(SolverScratch&&) noexcept = default;
 
+BudgetReserve reserve_with_backoff(DenseStateBudget& budget,
+                                   std::size_t bytes, int attempts) {
+  if (budget.try_reserve(bytes)) return BudgetReserve::kReserved;
+  if (static_cast<std::int64_t>(bytes) > budget.capacity_bytes()) {
+    // No sleeping: the pool can never hold this footprint, so backoff would
+    // only delay the caller's fallback (or failure) decision.
+    return BudgetReserve::kOversized;
+  }
+  std::chrono::microseconds delay{50};
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::this_thread::sleep_for(delay);
+    if (budget.try_reserve(bytes)) return BudgetReserve::kReserved;
+    delay *= 2;
+  }
+  return BudgetReserve::kContended;
+}
+
 namespace {
 
 class Solver {
@@ -327,17 +348,23 @@ class Solver {
     init();
     const std::atomic<bool>* cancel =
         controls_ != nullptr ? controls_->cancel : nullptr;
+    const bool deadline_set =
+        controls_ != nullptr && controls_->deadline.has_value();
     const std::uint32_t poll =
         controls_ != nullptr && controls_->cancel_poll_interval > 0
             ? controls_->cancel_poll_interval
             : 4096;
-    // First pop checks immediately (a pre-cancelled token must not pay for
-    // even one search), then every `poll` pops.
+    // First pop checks immediately (a pre-cancelled token or an
+    // already-expired deadline must not pay for even one search), then
+    // every `poll` pops.
     std::uint32_t since_poll = poll - 1;
     while (remaining_ > 0) {
-      if (cancel != nullptr && ++since_poll >= poll) {
+      if ((cancel != nullptr || deadline_set) && ++since_poll >= poll) {
         since_poll = 0;
-        if (cancel->load(std::memory_order_relaxed)) throw SolveCancelled();
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          throw SolveCancelled();
+        }
+        if (deadline_set) throw_if_deadline_expired(controls_);
       }
       CDST_CHECK_MSG(!heap_.empty(),
                      "cost-distance: terminals are not connected in the graph");
@@ -370,16 +397,29 @@ class Solver {
 
     // Dense-state footprint of this solve: t+1 live searches x n vertices.
     // Against a shared budget pool the bytes are reserved up front (and
-    // released by ~Solver); standalone solves compare against the per-solve
-    // byte budget. Either way a denial degrades to sparse state with
-    // identical results.
+    // released by ~Solver) with bounded backoff on contention; standalone
+    // solves compare against the per-solve byte budget. Either way a denial
+    // degrades to sparse state with identical results — unless the caller
+    // opted into strict_shared_budget, where an oversized footprint (one no
+    // amount of waiting can satisfy) fails the solve outright.
     const std::size_t dense_bytes =
         (static_cast<std::size_t>(t) + 1) * g_.num_vertices() *
         SearchState::slot_bytes();
     bool dense;
     if (opts_.shared_dense_budget != nullptr) {
-      dense = opts_.shared_dense_budget->try_reserve(dense_bytes);
+      CDST_FAULT_POINT("solver.budget_reserve");
+      const BudgetReserve r = reserve_with_backoff(
+          *opts_.shared_dense_budget, dense_bytes,
+          opts_.budget_backoff_attempts);
+      dense = r == BudgetReserve::kReserved;
       if (dense) budget_reserved_ = dense_bytes;
+      if (r == BudgetReserve::kOversized && opts_.strict_shared_budget) {
+        throw BudgetExhausted(
+            "dense-state footprint of " + std::to_string(dense_bytes) +
+            " bytes exceeds the whole shared budget of " +
+            std::to_string(opts_.shared_dense_budget->capacity_bytes()) +
+            " bytes");
+      }
     } else {
       dense = dense_bytes <= opts_.dense_state_budget_bytes;
     }

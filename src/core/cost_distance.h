@@ -17,9 +17,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "core/future_oracle.h"
@@ -115,6 +117,12 @@ class DenseStateBudget {
     return remaining_.load(std::memory_order_acquire);
   }
 
+  /// Total pool size (the reset()/construction value). A footprint above
+  /// this can never be reserved, no matter how long a lane waits.
+  std::int64_t capacity_bytes() const {
+    return initial_.load(std::memory_order_relaxed);
+  }
+
   /// Largest number of bytes ever reserved concurrently since construction
   /// or the last reset(). The observable half of the backpressure contract:
   /// a SolveStream with window W over solves of footprint F never drives
@@ -131,6 +139,23 @@ class DenseStateBudget {
   std::atomic<std::int64_t> remaining_;
   std::atomic<std::int64_t> low_water_;  ///< min remaining ever observed
 };
+
+/// How a backed-off reservation attempt ended.
+enum class BudgetReserve : std::uint8_t {
+  kReserved,   ///< bytes reserved; release() them when done
+  kContended,  ///< the pool could hold it, but other lanes do right now
+  kOversized,  ///< the footprint exceeds the whole pool; waiting cannot help
+};
+
+/// try_reserve with bounded exponential backoff: on contention the caller
+/// sleeps 50us, 100us, ... (up to `attempts` sleeps) and retries, because a
+/// briefly-drained pool usually refills within one solve — a dense retry
+/// beats an immediate sparse fallback. An oversized footprint returns
+/// immediately (no sleeping): only the caller can decide whether that is a
+/// degradation (sparse fallback, the default) or a kResourceExhausted
+/// failure (SolverOptions::strict_shared_budget).
+BudgetReserve reserve_with_backoff(DenseStateBudget& budget,
+                                   std::size_t bytes, int attempts);
 
 /// Priority-queue organization for the simultaneous searches.
 enum class QueueKind : std::uint8_t {
@@ -176,6 +201,16 @@ struct SolverOptions {
   /// the solve. Whether a solve lands dense or sparse never changes its
   /// result, so racing lanes stay deterministic.
   DenseStateBudget* shared_dense_budget{nullptr};
+  /// Bounded exponential backoff (50us doubling) before giving up on a
+  /// contended shared reservation; 0 disables waiting. Only meaningful with
+  /// shared_dense_budget set. See reserve_with_backoff.
+  int budget_backoff_attempts{6};
+  /// When true, a dense-state footprint larger than the WHOLE shared pool
+  /// fails the solve with BudgetExhausted (mapped to kResourceExhausted at
+  /// the api boundary) instead of silently degrading to sparse state. Off
+  /// by default: the sparse fallback is bit-identical, just slower, and the
+  /// session APIs rely on it.
+  bool strict_shared_budget{false};
 
   /// III-B: heap organization of the label queues.
   QueueKind queue{QueueKind::kTwoLevel};
@@ -233,6 +268,23 @@ class SolveCancelled : public std::runtime_error {
   SolveCancelled() : std::runtime_error("cost-distance solve cancelled") {}
 };
 
+/// Thrown when SolveControls::deadline expires mid-solve. Internal control
+/// flow, converted to a kDeadlineExceeded Status at the api boundary —
+/// committed state stays coherent, exactly like cancellation.
+class SolveDeadlineExceeded : public std::runtime_error {
+ public:
+  SolveDeadlineExceeded()
+      : std::runtime_error("cost-distance solve deadline exceeded") {}
+};
+
+/// Thrown when SolverOptions::strict_shared_budget is set and the solve's
+/// dense-state footprint exceeds the whole shared pool. Converted to a
+/// kResourceExhausted Status at the api boundary.
+class BudgetExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// One component-merge observation of a running solve — the solver-side
 /// event the session layer forwards as EventSink::on_solve_merge. Emitted on
 /// the solving thread after every merge; merges_total equals the instance's
@@ -250,10 +302,27 @@ struct SolveControls {
   /// Checked every `cancel_poll_interval` queue pops (and once up front);
   /// when set, the solve unwinds by throwing SolveCancelled.
   const std::atomic<bool>* cancel{nullptr};
+  /// Monotonic deadline, polled at the same cadence as `cancel`; expiry
+  /// unwinds the solve by throwing SolveDeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Invoked after every component merge. Called on the solving thread.
   std::function<void(const MergeTick&)> on_merge;
   std::uint32_t cancel_poll_interval{4096};
 };
+
+/// True iff `controls` carries a deadline that has passed. Null controls or
+/// an unset deadline never expire.
+inline bool deadline_expired(const SolveControls* controls) {
+  return controls != nullptr && controls->deadline.has_value() &&
+         std::chrono::steady_clock::now() >= *controls->deadline;
+}
+
+/// The one origin of the deadline unwind: throws SolveDeadlineExceeded iff
+/// the deadline passed. Gives api-layer code a throw-free spelling of the
+/// check (the Status discipline bans literal `throw` under src/api/).
+inline void throw_if_deadline_expired(const SolveControls* controls) {
+  if (deadline_expired(controls)) throw SolveDeadlineExceeded();
+}
 
 /// Runs Algorithm 1 on the instance. Deterministic given options.seed,
 /// independent of the (optional) scratch's history. Pass a SolverScratch to

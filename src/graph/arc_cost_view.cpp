@@ -1,6 +1,7 @@
 #include "graph/arc_cost_view.h"
 
 #include "util/assert.h"
+#include "util/fault_injection.h"
 
 namespace cdst {
 
@@ -8,6 +9,10 @@ void ArcCostView::build_arcs(const Graph& g,
                              std::span<const double> edge_cost,
                              std::span<const double> edge_delay,
                              std::span<const std::uint8_t> edge_layer) {
+  // Shared allocation core of assign()/assign_borrowed(): the SoA arc
+  // planes are (re)built here, which is where a real allocation failure
+  // would surface during window/instance materialization.
+  CDST_FAULT_POINT("arcplane.assign");
   CDST_CHECK(edge_cost.size() == g.num_edges());
   CDST_CHECK(edge_delay.size() == g.num_edges());
   CDST_CHECK(edge_layer.empty() || edge_layer.size() == g.num_edges());

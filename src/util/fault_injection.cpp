@@ -1,0 +1,155 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+
+namespace cdst {
+namespace detail {
+
+void FaultSite::arm(const FaultPolicy& policy) {
+  MutexLock lock(mu_);
+  policy_ = policy;
+  armed_hits_ = 0;
+  rng_.reseed(policy.seed);
+  // Publish last: a concurrent hit() that observes armed_ then evaluates
+  // under mu_ after this unlock sees the complete policy.
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultSite::disarm() {
+  MutexLock lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+std::uint64_t FaultSite::fired() const {
+  MutexLock lock(mu_);
+  return fired_;
+}
+
+void FaultSite::reset_counters() {
+  total_hits_.store(0, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  armed_hits_ = 0;
+  fired_ = 0;
+}
+
+void FaultSite::evaluate() {
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return;  // raced a disarm
+    ++armed_hits_;
+    switch (policy_.trigger) {
+      case FaultPolicy::Trigger::kNthHit:
+        if (armed_hits_ == policy_.n) {
+          fire = true;
+          // One-shot: the fault "goes away", so a bounded retry succeeds.
+          armed_.store(false, std::memory_order_release);
+        }
+        break;
+      case FaultPolicy::Trigger::kEveryK:
+        fire = policy_.n >= 1 && armed_hits_ % policy_.n == 0;
+        break;
+      case FaultPolicy::Trigger::kProbability: {
+        // 53-bit uniform in [0, 1) from the site's seeded stream.
+        const double u =
+            static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+        fire = u < policy_.probability;
+        break;
+      }
+    }
+    if (fire) ++fired_;
+  }
+  // Throw outside the lock: the unwind crosses arbitrary library frames and
+  // must not hold site state hostage while it does.
+  if (fire) {
+    // cdst-lint: allow(api-throw) not api code, but keep the rationale
+    // local: InjectedFault is internal control flow, mapped to Status /
+    // consumed by retry at the session boundary like SolveCancelled.
+    throw InjectedFault(name_);
+  }
+}
+
+}  // namespace detail
+
+FaultRegistry& FaultRegistry::instance() {
+  // Deliberately leaked: fault sites cache raw pointers into the registry
+  // from function-local statics, and those must stay valid through static
+  // destruction (see the header).
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+detail::FaultSite* FaultRegistry::register_site(const char* name) {
+  MutexLock lock(mu_);
+  for (const std::unique_ptr<detail::FaultSite>& site : sites_) {
+    if (site->name() == name) return site.get();
+  }
+  sites_.push_back(std::make_unique<detail::FaultSite>(name));
+  return sites_.back().get();
+}
+
+detail::FaultSite* FaultRegistry::find(const std::string& site) const {
+  MutexLock lock(mu_);
+  for (const std::unique_ptr<detail::FaultSite>& s : sites_) {
+    if (s->name() == site) return s.get();
+  }
+  return nullptr;
+}
+
+void FaultRegistry::arm(const std::string& site, const FaultPolicy& policy) {
+  register_site(site.c_str())->arm(policy);
+}
+
+void FaultRegistry::disarm(const std::string& site) {
+  detail::FaultSite* s = find(site);
+  if (s != nullptr) s->disarm();
+}
+
+void FaultRegistry::disarm_all() {
+  std::vector<detail::FaultSite*> all;
+  {
+    MutexLock lock(mu_);
+    all.reserve(sites_.size());
+    for (const std::unique_ptr<detail::FaultSite>& s : sites_) {
+      all.push_back(s.get());
+    }
+  }
+  for (detail::FaultSite* s : all) s->disarm();
+}
+
+std::vector<std::string> FaultRegistry::sites() const {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(mu_);
+    names.reserve(sites_.size());
+    for (const std::unique_ptr<detail::FaultSite>& s : sites_) {
+      names.push_back(s->name());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& site) const {
+  const detail::FaultSite* s = find(site);
+  return s != nullptr ? s->total_hits() : 0;
+}
+
+std::uint64_t FaultRegistry::fired(const std::string& site) const {
+  detail::FaultSite* s = find(site);
+  return s != nullptr ? s->fired() : 0;
+}
+
+void FaultRegistry::reset_counters() {
+  std::vector<detail::FaultSite*> all;
+  {
+    MutexLock lock(mu_);
+    all.reserve(sites_.size());
+    for (const std::unique_ptr<detail::FaultSite>& s : sites_) {
+      all.push_back(s.get());
+    }
+  }
+  for (detail::FaultSite* s : all) s->reset_counters();
+}
+
+}  // namespace cdst

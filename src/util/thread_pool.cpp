@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "util/assert.h"
+#include "util/fault_injection.h"
 
 namespace cdst {
 namespace {
@@ -81,6 +82,12 @@ void ThreadPool::drain(Batch& batch) {
        i < batch.end;
        i = batch.next.fetch_add(1, std::memory_order_relaxed)) {
     try {
+      // Inside the try, before the body: an injected task fault takes the
+      // exact first-error-wins unwind path a throwing body would. (submit()
+      // tasks carry no such site — they run outside any barrier, so a
+      // throw there would terminate; streams instead fault inside their own
+      // lane bodies, see "stream.dispatch".)
+      CDST_FAULT_POINT("pool.task");
       (*batch.body)(i);
     } catch (...) {
       MutexLock lock(batch.error_mu);
