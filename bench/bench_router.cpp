@@ -17,7 +17,12 @@
 #include <vector>
 
 #include "api/cdst.h"
+#include "dist/transport.h"
 #include "route/netlist_gen.h"
+
+#if defined(CDST_SHARD_WORKER_PATH)
+#include "dist/subprocess_transport.h"
+#endif
 
 namespace {
 
@@ -83,6 +88,50 @@ BENCHMARK(BM_Router_Sharded)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sharded rounds across the transport tiers (dist/transport.h): arg 0 runs
+/// the rounds directly, 1 through the InProcessTransport serialization
+/// loopback (the wire tax: encode + parse every boundary, zero IO), 2
+/// through SubprocessTransport's worker pool (the wire tax plus pipe
+/// framing and real process hops). Transports are constructed outside the
+/// timed loop — the rows measure steady-state rounds, not worker spawns.
+void BM_Router_Transport(benchmark::State& state) {
+  const int tier = static_cast<int>(state.range(0));
+  const Fixture& f = fixture();
+  RouterOptions opts = options_for(4);
+
+  dist::InProcessTransport in_process;
+#if defined(CDST_SHARD_WORKER_PATH)
+  dist::SubprocessTransportOptions sopts;
+  sopts.worker_path = CDST_SHARD_WORKER_PATH;
+  sopts.workers = 4;
+  dist::SubprocessTransport subprocess(sopts);
+#endif
+  if (tier == 1) {
+    opts.transport = &in_process;
+  } else if (tier == 2) {
+#if defined(CDST_SHARD_WORKER_PATH)
+    opts.transport = &subprocess;
+#else
+    state.SkipWithError("cdst_shard_worker not built on this platform");
+    return;
+#endif
+  }
+
+  for (auto _ : state) {
+    Router session(f.grid, f.netlist, opts);
+    benchmark::DoNotOptimize(session.run(2));
+    benchmark::DoNotOptimize(session.result());
+  }
+  state.SetLabel(tier == 0   ? "direct"
+                 : tier == 1 ? "in-process-transport"
+                             : "subprocess-transport");
+}
+BENCHMARK(BM_Router_Transport)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 bool verify_shard_count_invariance() {

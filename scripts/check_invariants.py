@@ -38,6 +38,10 @@ Rules (each has a stable id, used by the allow directive):
   fault-site    Every CDST_FAULT_POINT site name in src/ must appear in the
                 fault-sweep manifest (tests/fault_injection_test.cpp), so no
                 injection site can exist that the sweep never exercises.
+  wire-format   Every `from_bytes` definition in src/ must validate the
+                message header (wire::expect_header or a helper wrapping it)
+                before reading any field, so corrupt or foreign bytes are
+                rejected by magic/version, never mis-parsed field by field.
 
 Suppressing a finding inline:
 
@@ -189,6 +193,11 @@ STATUS_ORIGIN_RE = re.compile(
 STATUS_ORIGIN_FILES = ("src/api/status.h", "src/api/scratch_pool.h")
 FAULT_POINT_RE = re.compile(r'CDST_FAULT_POINT\(\s*"([^"]+)"')
 FAULT_MANIFEST = "tests/fault_injection_test.cpp"
+FROM_BYTES_DEF_RE = re.compile(r"\bfrom_bytes\s*\(")
+WIRE_READ_RE = re.compile(
+    r"\.\s*(?:u8|u16|u32|u64|f64)\s*\(|\bread_vec\b|\bread_str\b"
+)
+EXPECT_HEADER_RE = re.compile(r"\bexpect_header")
 
 
 def scan_line_rule(src, rule, pattern, message, skip=None):
@@ -315,6 +324,66 @@ def rule_status_origin(src: SourceFile):
     )
 
 
+def rule_wire_format(src: SourceFile):
+    """Walks each `from_bytes` definition body and flags a wire read that
+    precedes the header validation. Declarations (`;` before `{`) are
+    skipped; the body is delimited by brace depth on the stripped code."""
+    if not src.rel.startswith("src/"):
+        return []
+    findings = []
+    lines = src.code_lines
+    n = len(lines)
+    i = 0
+    while i < n:
+        if not FROM_BYTES_DEF_RE.search(lines[i]):
+            i += 1
+            continue
+        # Find whether this is a definition: the first `{` or `;` after the
+        # match decides (declarations end in `;`).
+        j, col = i, lines[i].index("from_bytes")
+        body_start = None
+        while j < n:
+            text = lines[j][col:] if j == i else lines[j]
+            brace, semi = text.find("{"), text.find(";")
+            if brace != -1 and (semi == -1 or brace < semi):
+                body_start = (j, (col if j == i else 0) + brace + 1)
+                break
+            if semi != -1:
+                break
+            j += 1
+        if body_start is None:
+            i += 1
+            continue
+        # Scan the body: the first header check or wire read wins.
+        depth = 1
+        row, pos = body_start
+        saw_header = False
+        while row < n and depth > 0:
+            text = lines[row][pos:]
+            if not saw_header and EXPECT_HEADER_RE.search(text):
+                saw_header = True
+            if not saw_header:
+                m = WIRE_READ_RE.search(text)
+                if m and not src.is_allowed("wire-format", row + 1):
+                    findings.append(
+                        (
+                            src.rel,
+                            row + 1,
+                            "wire-format",
+                            "from_bytes reads a field before validating the "
+                            "message header: check magic+version via "
+                            "wire::expect_header (or a helper wrapping it) "
+                            "first",
+                        )
+                    )
+                    break
+            depth += text.count("{") - text.count("}")
+            row += 1
+            pos = 0
+        i = max(i + 1, row)
+    return findings
+
+
 def rule_bad_directive(src: SourceFile):
     return [
         (
@@ -335,6 +404,7 @@ LINE_RULES = [
     rule_raw_mutex,
     rule_nolint_reason,
     rule_status_origin,
+    rule_wire_format,
     rule_bad_directive,
 ]
 
@@ -490,6 +560,8 @@ def self_test() -> int:
         "src/grid/clean.h": set(),
         "src/api/clean.cpp": set(),
         "src/core/bad_status_origin.cpp": {"status-origin"},
+        "src/io/bad_wire.cpp": {"wire-format"},
+        "src/io/clean_wire.cpp": set(),
         "src/util/bad_fault_site.cpp": {"fault-site"},
         "src/util/clean_fault_site.cpp": set(),
         "tsan.supp": {"tsan-supp"},

@@ -1,0 +1,32 @@
+// wire-format fixture: header validated before any field read — clean.
+#include <cstdint>
+#include <span>
+
+namespace fixture {
+
+struct Reader {
+  std::uint32_t u32();
+  std::uint64_t u64();
+};
+enum class HeaderCheck { kOk, kBadMagic, kBadVersion };
+HeaderCheck expect_header(Reader& r, std::uint32_t magic,
+                          std::uint32_t version);
+
+struct Msg {
+  std::uint64_t seed{0};
+  // A declaration alone must never trip the rule.
+  static Msg from_bytes(std::span<const std::uint8_t> bytes);
+};
+
+Msg Msg::from_bytes(std::span<const std::uint8_t> bytes) {
+  (void)bytes;
+  Reader r;
+  Msg m;
+  if (expect_header(r, 0x1234u, 1u) != HeaderCheck::kOk) {
+    return m;
+  }
+  m.seed = r.u64();
+  return m;
+}
+
+}  // namespace fixture

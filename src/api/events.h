@@ -79,6 +79,9 @@ struct RouterShardEvent {
   std::size_t shard_nets{0};  ///< nets assigned to this shard
   std::size_t nets_done{0};   ///< nets routed so far this round (monotonic)
   std::size_t nets_total{0};
+  /// Wall seconds spent inside ShardTransport::dispatch for this shard;
+  /// 0.0 when the shard ran in-process without a transport.
+  double dispatch_seconds{0.0};
 };
 
 /// A router round boundary: batch progress inside a round, the round
@@ -110,7 +113,9 @@ struct RouterRoundEvent {
 /// against the same inputs, so results stay bit-identical to a fault-free
 /// run) or the engine is giving up with the carried status.
 struct FaultEvent {
-  const char* stage{""};  ///< "router_shard" (more stages may follow)
+  /// "router_shard" (a fault unwound shard routing) or "dist.transport" (a
+  /// ShardTransport dispatch failed); more stages may follow.
+  const char* stage{""};
   int round{-1};          ///< absolute session round, -1 outside rounds
   int attempt{0};         ///< 1-based attempt that just failed
   bool retrying{false};   ///< true: another attempt follows

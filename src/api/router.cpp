@@ -1,7 +1,6 @@
 #include "api/router.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <span>
 #include <string>
@@ -9,63 +8,32 @@
 
 #include "api/events.h"
 #include "api/scratch_pool.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
 #include "route/sharding.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/wire.h"
 
 namespace cdst {
 namespace {
 
-// Checkpoint wire helpers: fixed little-endian layout, independent of host
-// endianness, with explicit bounds-checked reads (a truncated or corrupt
-// buffer turns every later read into a no-op and trips `ok`).
+// Checkpoint wire format: the shared little-endian discipline of util/wire.h
+// with a custom body layout (all four counts up front, then the payloads) —
+// kept bit-for-bit compatible with the version-1 bytes of earlier builds.
 
 constexpr std::uint32_t kCheckpointMagic = 0x43445354;  // "CDST"
 constexpr std::uint32_t kCheckpointVersion = 1;
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-struct ByteReader {
-  std::span<const std::uint8_t> bytes;
-  std::size_t pos{0};
-  bool ok{true};
-
-  std::uint32_t u32() {
-    if (bytes.size() - pos < 4 || !ok) {
-      ok = false;
-      return 0;
-    }
-    const std::uint32_t v =
-        static_cast<std::uint32_t>(bytes[pos]) |
-        static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
-        static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
-        static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
-    pos += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    const std::uint64_t lo = u32();
-    const std::uint64_t hi = u32();
-    return lo | hi << 32;
-  }
-  double f64() { return std::bit_cast<double>(u64()); }
+/// Internal unwind of one failed ShardTransport dispatch inside the sharded
+/// round's fan-out. Caught at the retry loop, emitted as a "dist.transport"
+/// FaultEvent, then either retried (kUnavailable) or surfaced as the
+/// carried status.
+struct TransportDispatchError {
+  Status status;
 };
 
 }  // namespace
@@ -74,30 +42,31 @@ std::vector<std::uint8_t> RouterCheckpoint::to_bytes() const {
   std::vector<std::uint8_t> out;
   out.reserve(48 + route_offsets.size() * 8 + route_edges.size() * 4 +
               sink_weights.size() * 8 + sink_delays.size() * 8);
-  put_u32(out, kCheckpointMagic);
-  put_u32(out, kCheckpointVersion);
-  put_u64(out, options_seed);
-  put_u32(out, static_cast<std::uint32_t>(rounds_done));
-  put_u32(out, static_cast<std::uint32_t>(weights_round));
-  put_u64(out, route_offsets.size());
-  put_u64(out, route_edges.size());
-  put_u64(out, sink_weights.size());
-  put_u64(out, sink_delays.size());
-  for (const std::uint64_t v : route_offsets) put_u64(out, v);
-  for (const std::uint32_t v : route_edges) put_u32(out, v);
-  for (const double v : sink_weights) put_f64(out, v);
-  for (const double v : sink_delays) put_f64(out, v);
+  wire::put_header(out, kCheckpointMagic, kCheckpointVersion);
+  wire::put_u64(out, options_seed);
+  wire::put_u32(out, static_cast<std::uint32_t>(rounds_done));
+  wire::put_u32(out, static_cast<std::uint32_t>(weights_round));
+  wire::put_u64(out, route_offsets.size());
+  wire::put_u64(out, route_edges.size());
+  wire::put_u64(out, sink_weights.size());
+  wire::put_u64(out, sink_delays.size());
+  for (const std::uint64_t v : route_offsets) wire::put_u64(out, v);
+  for (const std::uint32_t v : route_edges) wire::put_u32(out, v);
+  for (const double v : sink_weights) wire::put_f64(out, v);
+  for (const double v : sink_delays) wire::put_f64(out, v);
   return out;
 }
 
 StatusOr<RouterCheckpoint> RouterCheckpoint::from_bytes(
     std::span<const std::uint8_t> bytes) {
-  ByteReader r{bytes};
-  if (r.u32() != kCheckpointMagic) {
-    return Status::InvalidArgument("checkpoint: bad magic");
-  }
-  if (r.u32() != kCheckpointVersion) {
-    return Status::InvalidArgument("checkpoint: unsupported version");
+  wire::Reader r{bytes};
+  switch (wire::expect_header(r, kCheckpointMagic, kCheckpointVersion)) {
+    case wire::HeaderCheck::kBadMagic:
+      return Status::InvalidArgument("checkpoint: bad magic");
+    case wire::HeaderCheck::kBadVersion:
+      return Status::InvalidArgument("checkpoint: unsupported version");
+    case wire::HeaderCheck::kOk:
+      break;
   }
   RouterCheckpoint cp;
   cp.options_seed = r.u64();
@@ -108,13 +77,14 @@ StatusOr<RouterCheckpoint> RouterCheckpoint::from_bytes(
   const std::uint64_t n_weights = r.u64();
   const std::uint64_t n_delays = r.u64();
   // The counts came from untrusted bytes: check each against the remaining
-  // payload before any resize (per-count, so the sum cannot overflow), so a
-  // corrupt header can neither drive a huge allocation nor wrap the check.
-  const std::uint64_t remaining = bytes.size() - r.pos;
-  if (!r.ok || n_offsets > remaining / 8 || n_edges > remaining / 4 ||
-      n_weights > remaining / 8 || n_delays > remaining / 8 ||
+  // payload before any resize (per-count via Reader::fits, so the sum cannot
+  // overflow), so a corrupt header can neither drive a huge allocation nor
+  // wrap the check. The exact-sum test pins the layout: all four payloads,
+  // nothing else, must account for every remaining byte.
+  if (!r.ok || !r.fits(n_offsets, 8) || !r.fits(n_edges, 4) ||
+      !r.fits(n_weights, 8) || !r.fits(n_delays, 8) ||
       n_offsets * 8 + n_edges * 4 + n_weights * 8 + n_delays * 8 !=
-          remaining) {
+          r.remaining()) {
     return Status::InvalidArgument("checkpoint: truncated");
   }
   cp.route_offsets.resize(n_offsets);
@@ -316,14 +286,105 @@ struct Router::Impl {
         sink_weights.data() + sink_offset[i],
         sink_offset[i + 1] - sink_offset[i]);
     OracleParams p = options.oracle;
-    p.seed = options.seed * 0x9e3779b9ull + net.id * 1000003ull +
-             static_cast<std::uint64_t>(round);
+    p.seed = net_round_seed(options.seed, net.id, round);
     if (p.cd.shared_dense_budget == nullptr) {
       p.cd.shared_dense_budget = &dense_budget;
     }
     const detail::SolverScratchPool::Lease lease = scratch.lease();
     const OracleInstance oi(grid, costs, net, weights, p, pricing);
     return run_method(oi, options.method, p, lease.get(), &controls);
+  }
+
+  /// The transport's round-invariant world: everything a shard worker needs
+  /// to rebuild this session's grid and oracle bit-identically. Pointer
+  /// knobs never cross the wire (dist/wire.h); executors install
+  /// per-process equivalents, which cannot change results.
+  dist::WorkerSetupMsg make_worker_setup() const {
+    dist::WorkerSetupMsg setup;
+    setup.nx = grid.nx();
+    setup.ny = grid.ny();
+    setup.layers = grid.layers();
+    setup.via = grid.via();
+    setup.netlist = netlist;
+    setup.method = options.method;
+    setup.oracle = options.oracle;
+    setup.oracle.cd.future_cost = nullptr;
+    setup.oracle.cd.shared_dense_budget = nullptr;
+    setup.congestion = options.congestion;
+    setup.options_seed = options.seed;
+    return setup;
+  }
+
+  /// Packs one shard's round inputs for a transport dispatch: per net the
+  /// sink-weight slice, the committed route, and the frozen usage of that
+  /// route's distinct resources (sorted by resource id), so the remote
+  /// executor prices exactly as route_one_net does against the snapshot.
+  dist::ShardWorkMsg make_shard_work(std::size_t sh, int round) const {
+    dist::ShardWorkMsg work;
+    work.round = round;
+    work.shard = static_cast<std::int32_t>(sh);
+    work.shards = shard_map.tiles.num_shards();
+    work.tile = shard_tile(shard_map.tiles, static_cast<int>(sh));
+    work.nets.reserve(shard_map.nets[sh].size());
+    for (const std::uint32_t i : shard_map.nets[sh]) {
+      const Net& net = netlist.nets[i];
+      if (net.sinks.empty()) continue;  // skipped at the merge too
+      dist::ShardWorkMsg::NetWork nw;
+      nw.net = i;
+      nw.sink_weights.assign(
+          sink_weights.begin() + static_cast<std::ptrdiff_t>(sink_offset[i]),
+          sink_weights.begin() +
+              static_cast<std::ptrdiff_t>(sink_offset[i + 1]));
+      nw.route_edges = routes[i];
+      nw.resources.reserve(routes[i].size());
+      for (const EdgeId e : routes[i]) {
+        nw.resources.push_back(grid.edge_info(e).resource);
+      }
+      std::sort(nw.resources.begin(), nw.resources.end());
+      nw.resources.erase(
+          std::unique(nw.resources.begin(), nw.resources.end()),
+          nw.resources.end());
+      nw.usage.reserve(nw.resources.size());
+      for (const ResourceId r : nw.resources) {
+        nw.usage.push_back(costs.usage(r));
+      }
+      work.nets.push_back(std::move(nw));
+    }
+    return work;
+  }
+
+  /// Validates a transport's reply against the work it answers and moves
+  /// the deltas into the round's outcome slots. Any mismatch means a
+  /// misbehaving transport or executor: kInternal, never retried.
+  Status apply_shard_result(const dist::ShardWorkMsg& work,
+                            dist::ShardResultMsg& result,
+                            std::vector<OracleOutcome>& outcomes) const {
+    if (result.round != work.round || result.shard != work.shard) {
+      return Status::Internal(
+          "shard result does not answer the dispatched work");
+    }
+    if (result.nets.size() != work.nets.size()) {
+      return Status::Internal("shard result net count mismatch");
+    }
+    const std::size_t num_edges = grid.graph().num_edges();
+    for (std::size_t k = 0; k < result.nets.size(); ++k) {
+      dist::ShardResultMsg::NetResult& nr = result.nets[k];
+      const std::uint32_t i = work.nets[k].net;
+      if (nr.net != i) {
+        return Status::Internal("shard result net order mismatch");
+      }
+      if (nr.sink_delays.size() != netlist.nets[i].sinks.size()) {
+        return Status::Internal("shard result sink-delay count mismatch");
+      }
+      for (const std::uint32_t e : nr.route_edges) {
+        if (e >= num_edges) {
+          return Status::Internal("shard result route edge out of range");
+        }
+      }
+      outcomes[i].grid_edges = std::move(nr.route_edges);
+      outcomes[i].eval.sink_delays = std::move(nr.sink_delays);
+    }
+    return Status::Ok();
   }
 
   /// One spatially sharded round (RouterOptions::shards): frozen price
@@ -349,6 +410,27 @@ struct Router::Impl {
     // from it instead of exponentiating utilization per window edge.
     costs.fill_edge_costs(round_costs);
 
+    // With a transport installed, send the round-invariant world once (and
+    // again after set_options) and publish this round's frozen price plane.
+    // Nothing has been dispatched yet, so failures here are round-level and
+    // surface directly instead of entering the shard retry loop.
+    dist::ShardTransport* const transport = options.transport;
+    if (transport != nullptr) {
+      if (configured_transport != transport) {
+        if (Status st = transport->configure(make_worker_setup());
+            !st.ok()) {
+          return Status::Annotate(st, "shard transport configure failed");
+        }
+        configured_transport = transport;
+      }
+      dist::PriceSnapshotMsg snapshot;
+      snapshot.round = round;
+      snapshot.edge_costs = round_costs;
+      if (Status st = transport->begin_round(snapshot); !st.ok()) {
+        return Status::Annotate(st, "shard transport begin_round failed");
+      }
+    }
+
     std::vector<OracleOutcome> outcomes(num_nets);
     Mutex progress_mu;
     std::size_t nets_done = 0;  // guarded by progress_mu (a local, so the
@@ -366,11 +448,8 @@ struct Router::Impl {
           if (shard_done[sh] != 0) return;
           CDST_FAULT_POINT("router.shard");
           const std::vector<std::uint32_t>& mine = shard_map.nets[sh];
-          // One exclusion map per shard task, recycled across its nets.
-          SparseMap<double> excluded;
-          for (const std::uint32_t i : mine) {
-            const Net& net = netlist.nets[i];
-            if (net.sinks.empty()) continue;
+          double dispatch_seconds = 0.0;
+          if (transport != nullptr) {
             if (controls.cancel != nullptr &&
                 controls.cancel->load(std::memory_order_relaxed)) {
               // cdst-lint: allow(api-throw) internal unwind: caught at the
@@ -378,16 +457,43 @@ struct Router::Impl {
               throw SolveCancelled();
             }
             throw_if_deadline_expired(&controls);
-            // The net prices against the snapshot minus its own committed
-            // usage — the snapshot-world equivalent of ripping it up.
-            excluded.clear();
-            for (const EdgeId e : routes[i]) {
-              const RoutingGrid::EdgeInfo& info = grid.edge_info(e);
-              excluded[info.resource] += info.width;
+            const dist::ShardWorkMsg work = make_shard_work(sh, round);
+            WallTimer dispatch_timer;
+            StatusOr<dist::ShardResultMsg> result =
+                transport->dispatch(work);
+            dispatch_seconds = dispatch_timer.seconds();
+            Status st = result.ok()
+                            ? apply_shard_result(work, *result, outcomes)
+                            : result.status();
+            if (!st.ok()) {
+              // cdst-lint: allow(api-throw) internal unwind: caught at the
+              // retry loop below, emitted as a "dist.transport" FaultEvent.
+              throw TransportDispatchError{std::move(st)};
             }
-            const RoundPricing pricing{
-                round_costs, routes[i].empty() ? nullptr : &excluded};
-            outcomes[i] = route_one_net(i, round, &pricing, controls);
+          } else {
+            // One exclusion map per shard task, recycled across its nets.
+            SparseMap<double> excluded;
+            for (const std::uint32_t i : mine) {
+              const Net& net = netlist.nets[i];
+              if (net.sinks.empty()) continue;
+              if (controls.cancel != nullptr &&
+                  controls.cancel->load(std::memory_order_relaxed)) {
+                // cdst-lint: allow(api-throw) internal unwind: caught at
+                // the parallel_for boundary below, mapped to kCancelled.
+                throw SolveCancelled();
+              }
+              throw_if_deadline_expired(&controls);
+              // The net prices against the snapshot minus its own committed
+              // usage — the snapshot-world equivalent of ripping it up.
+              excluded.clear();
+              for (const EdgeId e : routes[i]) {
+                const RoutingGrid::EdgeInfo& info = grid.edge_info(e);
+                excluded[info.resource] += info.width;
+              }
+              const RoundPricing pricing{
+                  round_costs, routes[i].empty() ? nullptr : &excluded};
+              outcomes[i] = route_one_net(i, round, &pricing, controls);
+            }
           }
           if (fan.active()) {
             // Serialized shard boundary: sinks need not be thread-safe and
@@ -406,6 +512,7 @@ struct Router::Impl {
             event.shard_nets = mine.size();
             event.nets_done = nets_done;
             event.nets_total = num_nets;
+            event.dispatch_seconds = dispatch_seconds;
             fan.emit_router_shard(event);
           }
           shard_done[sh] = 1;
@@ -452,6 +559,33 @@ struct Router::Impl {
           return Status::Unavailable(
               std::string("sharded round gave up after 3 attempts: ") +
               e.what());
+        }
+      } catch (const TransportDispatchError& e) {
+        // A failed ShardTransport dispatch. kUnavailable is the transport's
+        // transient class (dead worker, broken pipe, injected fault at
+        // "dist.transport") and re-executes the unfinished shards — on the
+        // transport again, which respawns dead workers on the next
+        // dispatch. Everything else (malformed replies, typed worker
+        // errors) fails the round immediately.
+        const bool retryable =
+            e.status.code() == StatusCode::kUnavailable;
+        const bool retrying = retryable && attempt < kMaxShardAttempts;
+        if (fan.active()) {
+          FaultEvent event;
+          event.stage = "dist.transport";
+          event.round = round;
+          event.attempt = attempt;
+          event.retrying = retrying;
+          event.status = e.status.code();
+          fan.emit_fault(event);
+        }
+        if (!retryable) {
+          return Status::Annotate(e.status,
+                                  "shard transport dispatch failed");
+        }
+        if (!retrying) {
+          return Status::Annotate(
+              e.status, "sharded round gave up after 3 attempts");
         }
       }
     }
@@ -599,6 +733,9 @@ struct Router::Impl {
   ShardMap shard_map;
   int shard_map_shards{0};
   std::vector<double> round_costs;
+  /// The transport last configured with this session's world; set_options
+  /// resets it so the next sharded round re-sends the setup.
+  dist::ShardTransport* configured_transport{nullptr};
 
   std::vector<std::size_t> sink_offset;
   std::vector<double> rats;
@@ -654,6 +791,9 @@ Status Router::set_options(const RouterOptions& options) {
   for (const auto& route : impl.routes) {
     if (!route.empty()) impl.costs.add_usage(route, +1.0);
   }
+  // Any transport must be re-sent the (possibly changed) world before its
+  // next dispatch — even the same transport object.
+  impl.configured_transport = nullptr;
   if (impl.owned_pool != nullptr && options.threads != old_threads) {
     impl.owned_pool =
         std::make_unique<ThreadPool>(std::max(1, options.threads));

@@ -1,0 +1,102 @@
+#include "dist/framing.h"
+
+#if !defined(_WIN32)
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/wire.h"
+
+namespace cdst::dist {
+namespace {
+
+Status io_error(const char* what, int err) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(err));
+}
+
+/// Writes the whole buffer, looping over partial writes and EINTR.
+Status write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("frame write failed", errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `size` bytes; EOF before that is kUnavailable.
+Status read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("frame read failed", errno);
+    }
+    if (n == 0) {
+      return Status::Unavailable("frame read failed: peer closed the pipe");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status write_frame(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");
+  }
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(8);
+  wire::put_u64(prefix, payload.size());
+  if (Status st = write_all(fd, prefix.data(), prefix.size()); !st.ok()) {
+    return st;
+  }
+  return write_all(fd, payload.data(), payload.size());
+}
+
+StatusOr<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint8_t prefix[8];
+  if (Status st = read_all(fd, prefix, sizeof(prefix)); !st.ok()) {
+    return st;
+  }
+  wire::Reader r{std::span<const std::uint8_t>(prefix, sizeof(prefix))};
+  const std::uint64_t size = r.u64();
+  if (size > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length prefix exceeds "
+                                   "kMaxFrameBytes (corrupt stream)");
+  }
+  std::vector<std::uint8_t> payload(size);
+  if (Status st = read_all(fd, payload.data(), payload.size()); !st.ok()) {
+    return st;
+  }
+  return payload;
+}
+
+}  // namespace cdst::dist
+
+#else  // _WIN32
+
+namespace cdst::dist {
+
+Status write_frame(int, std::span<const std::uint8_t>) {
+  return Status::FailedPrecondition(
+      "pipe framing is not available on this platform");
+}
+
+StatusOr<std::vector<std::uint8_t>> read_frame(int) {
+  return Status::FailedPrecondition(
+      "pipe framing is not available on this platform");
+}
+
+}  // namespace cdst::dist
+
+#endif  // _WIN32

@@ -1,0 +1,37 @@
+/// \file dist/framing.h
+/// Length-prefixed message framing over POSIX file descriptors — the byte
+/// stream discipline between SubprocessTransport and its workers.
+///
+/// A frame is a u64 little-endian payload length followed by the payload
+/// (one serialized dist/wire.h message; receivers branch on its leading
+/// magic via wire::peek_u32). Reads and writes loop over partial transfers
+/// and EINTR. Stream-level failures — EOF mid-frame, a broken pipe, any fd
+/// error — map to kUnavailable: from the peer's perspective they are
+/// indistinguishable from a crashed counterpart, which is exactly the
+/// transient class the round loop's retry path handles. An oversized length
+/// prefix is kInvalidArgument (corrupt framing, not worth retrying).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/status.h"
+
+namespace cdst::dist {
+
+/// Upper bound on one frame's payload. Far above any real round message
+/// (the price plane of a huge grid is ~100MB); a prefix beyond it means the
+/// stream is corrupt, so the reader fails fast instead of allocating.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
+
+/// Writes one frame. kUnavailable when the peer is gone (EPIPE/short
+/// write), kInvalidArgument when the payload exceeds kMaxFrameBytes.
+Status write_frame(int fd, std::span<const std::uint8_t> payload);
+
+/// Reads one frame's payload. kUnavailable on EOF (clean or mid-frame) or
+/// fd error, kInvalidArgument on an oversized length prefix.
+StatusOr<std::vector<std::uint8_t>> read_frame(int fd);
+
+}  // namespace cdst::dist

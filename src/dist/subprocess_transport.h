@@ -1,0 +1,59 @@
+/// \file dist/subprocess_transport.h
+/// ShardTransport over a pool of out-of-process worker binaries.
+///
+/// Each worker is a `cdst_shard_worker` process (dist/worker_main.cpp)
+/// speaking length-prefixed frames (dist/framing.h) over its stdin/stdout.
+/// The transport spawns workers lazily, streams each one the current setup
+/// and round snapshot exactly once per change (epoch-tracked, so an idle
+/// worker that missed rounds catches up on its next dispatch), and respawns
+/// workers that died. A dead or misbehaving worker costs kUnavailable on
+/// the dispatch that discovers it — the retryable class the Router's
+/// shard-retry loop recovers from — never a crash or a hang of the parent.
+///
+/// Thread-safety: dispatch is callable concurrently (each in-flight
+/// dispatch owns one worker exclusively); configure/begin_round follow the
+/// ShardTransport contract of never overlapping dispatch.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+
+namespace cdst::dist {
+
+struct SubprocessTransportOptions {
+  /// Path to the worker binary (the cdst_shard_worker target). A missing or
+  /// non-executable path surfaces as kUnavailable on dispatch, after the
+  /// spawned child fails its exec.
+  std::string worker_path;
+  /// Worker processes in the pool (clamped to >= 1). Dispatches beyond the
+  /// pool size wait for a free worker.
+  int workers{2};
+};
+
+class SubprocessTransport final : public ShardTransport {
+ public:
+  explicit SubprocessTransport(SubprocessTransportOptions options);
+  ~SubprocessTransport() override;
+
+  const char* name() const override { return "subprocess"; }
+  Status configure(const WorkerSetupMsg& setup) override;
+  Status begin_round(const PriceSnapshotMsg& snapshot) override;
+  StatusOr<ShardResultMsg> dispatch(const ShardWorkMsg& work) override;
+
+  /// TEST ONLY: waits for in-flight dispatches to finish, then SIGKILLs
+  /// every live worker process — but leaves the transport's bookkeeping
+  /// believing they are alive, so the NEXT dispatch to each discovers the
+  /// death the way production would (broken pipe / EOF -> kUnavailable)
+  /// and the retry machinery is actually exercised rather than a silent
+  /// respawn hiding the fault.
+  void kill_workers_for_test();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cdst::dist

@@ -64,6 +64,14 @@ class CongestionCosts {
   /// Commits (sign=+1) or rips up (sign=-1) the usage of a set of edges.
   void add_usage(const std::vector<EdgeId>& edges, double sign);
 
+  /// Overwrites one resource's usage (floored at zero). The distributed
+  /// shard executor (dist/shard_executor.h) replays a round's frozen
+  /// per-resource usage into a worker-local instance with this, so
+  /// edge_cost_excluding prices bit-identically off-process.
+  void set_usage(ResourceId r, double usage) {
+    usage_[r] = std::max(0.0, usage);
+  }
+
   double usage(ResourceId r) const { return usage_[r]; }
   double utilization(ResourceId r) const { return usage_[r] / capacity_[r]; }
   std::size_t num_resources() const { return usage_.size(); }

@@ -21,6 +21,10 @@
 
 namespace cdst {
 
+namespace dist {
+class ShardTransport;
+}  // namespace dist
+
 struct RouterOptions {
   SteinerMethod method{SteinerMethod::kCD};
   int iterations{6};  ///< rip-up & re-route rounds (>= 1)
@@ -58,6 +62,14 @@ struct RouterOptions {
   /// mid-round. Snapshot pricing also replaces the per-window exp() pricing
   /// with a gather, so sharded rounds are faster even single-threaded.
   int shards{0};
+  /// Where sharded rounds execute shard work. Null (default) runs every
+  /// shard in-process on the session's worker pool. Non-null routes each
+  /// shard through the transport (dist/transport.h) as serializable round
+  /// messages — potentially to out-of-process workers — with results
+  /// bit-identical to the in-process path at any worker count. Borrowed,
+  /// not owned: the transport must outlive the session (or the set_options
+  /// call that replaces it). Ignored when shards == 0.
+  dist::ShardTransport* transport{nullptr};
 };
 
 /// Snapshot of a routing state: final (route_chip) or current

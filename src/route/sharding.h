@@ -80,4 +80,14 @@ struct ShardMap {
 ShardMap assign_nets_to_shards(const RoutingGrid& grid,
                                const Netlist& netlist, int shards);
 
+/// The oracle seed for one net in one round: a pure function of
+/// (session seed, net id, round index), so any executor — the in-process
+/// round loop or an out-of-process shard worker (dist/) — derives the same
+/// per-net randomness and routing stays bit-identical across placements.
+inline std::uint64_t net_round_seed(std::uint64_t options_seed,
+                                    std::uint32_t net_id, int round) {
+  return options_seed * 0x9e3779b9ull + net_id * 1000003ull +
+         static_cast<std::uint64_t>(round);
+}
+
 }  // namespace cdst

@@ -1,0 +1,67 @@
+#include "util/wire.h"
+
+namespace cdst::wire {
+
+void put_str(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_vec(std::vector<std::uint8_t>& out,
+             const std::vector<std::uint32_t>& v) {
+  put_u64(out, v.size());
+  for (const std::uint32_t x : v) put_u32(out, x);
+}
+
+void put_vec(std::vector<std::uint8_t>& out,
+             const std::vector<std::uint64_t>& v) {
+  put_u64(out, v.size());
+  for (const std::uint64_t x : v) put_u64(out, x);
+}
+
+void put_vec(std::vector<std::uint8_t>& out, const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (const double x : v) put_f64(out, x);
+}
+
+void read_vec(Reader& r, std::vector<std::uint32_t>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.fits(n, 4)) {
+    r.ok = false;
+    return;
+  }
+  v.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = r.u32();
+}
+
+void read_vec(Reader& r, std::vector<std::uint64_t>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.fits(n, 8)) {
+    r.ok = false;
+    return;
+  }
+  v.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = r.u64();
+}
+
+void read_vec(Reader& r, std::vector<double>& v) {
+  const std::uint64_t n = r.u64();
+  if (!r.fits(n, 8)) {
+    r.ok = false;
+    return;
+  }
+  v.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = r.f64();
+}
+
+void read_str(Reader& r, std::string& s) {
+  const std::uint64_t n = r.u64();
+  if (!r.fits(n, 1)) {
+    r.ok = false;
+    return;
+  }
+  s.assign(reinterpret_cast<const char*>(r.bytes.data()) + r.pos, n);
+  r.pos += n;
+}
+
+}  // namespace cdst::wire

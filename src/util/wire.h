@@ -1,0 +1,154 @@
+/// \file util/wire.h
+/// Little-endian wire encoding shared by every serialized artifact of the
+/// tree: Router checkpoints (api/router.h) and the distributed round
+/// messages (dist/wire.h) frame their bytes through these helpers, so there
+/// is exactly one framing discipline to audit.
+///
+/// Conventions:
+///   - fixed little-endian layout, independent of host endianness;
+///   - every message starts with a u32 magic + u32 version header, checked
+///     via expect_header() before any field read (lint rule `wire-format`);
+///   - reads are bounds-checked: a truncated or corrupt buffer turns every
+///     later read into a no-op and trips Reader::ok;
+///   - variable-length payloads are length-prefixed, and every count is
+///     checked against the *unread remainder* before the resize, so corrupt
+///     counts can neither drive huge allocations nor overflow the check.
+///
+/// This header stays below the api layer on purpose (it reports errors via
+/// Reader::ok / HeaderCheck, not Status), so substrate code can serialize
+/// without depending on the session API.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdst::wire {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// u64 length prefix + raw bytes.
+void put_str(std::vector<std::uint8_t>& out, std::string_view s);
+
+/// Bounds-checked sequential reader. Any read past the end (or after a
+/// failed read) returns 0 and latches ok = false, so parse code can run the
+/// full field sequence unconditionally and check ok once per section.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos{0};
+  bool ok{true};
+
+  std::uint8_t u8() {
+    if (!ok || bytes.size() - pos < 1) {
+      ok = false;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+
+  std::uint32_t u32() {
+    if (!ok || bytes.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(bytes[pos]) |
+        static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
+        static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
+        static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Bytes not yet consumed (0 once the reader has failed).
+  std::uint64_t remaining() const { return ok ? bytes.size() - pos : 0; }
+
+  /// True when `count` elements of `elem_size` bytes each still fit in the
+  /// unread payload. Per-count division check — cannot overflow, so it is
+  /// safe on counts taken straight from untrusted bytes.
+  bool fits(std::uint64_t count, std::size_t elem_size) const {
+    return ok && elem_size > 0 && count <= remaining() / elem_size;
+  }
+};
+
+/// Result of the mandatory magic + version check.
+enum class HeaderCheck : std::uint8_t {
+  kOk,
+  kBadMagic,    ///< not this message type (or not wire bytes at all)
+  kBadVersion,  ///< right message, unsupported format revision
+};
+
+inline void put_header(std::vector<std::uint8_t>& out, std::uint32_t magic,
+                       std::uint32_t version) {
+  put_u32(out, magic);
+  put_u32(out, version);
+}
+
+/// Consumes and validates the magic + version header. On any mismatch the
+/// reader is failed (ok = false) so later field reads stay no-ops.
+inline HeaderCheck expect_header(Reader& r, std::uint32_t magic,
+                                 std::uint32_t version) {
+  if (r.u32() != magic || !r.ok) {
+    r.ok = false;
+    return HeaderCheck::kBadMagic;
+  }
+  if (r.u32() != version || !r.ok) {
+    r.ok = false;
+    return HeaderCheck::kBadVersion;
+  }
+  return HeaderCheck::kOk;
+}
+
+/// First four bytes as a little-endian u32 (0 when shorter): lets framed
+/// byte streams branch on the message magic before parsing.
+inline std::uint32_t peek_u32(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  const std::uint32_t v = r.u32();
+  return r.ok ? v : 0;
+}
+
+// Length-prefixed homogeneous vectors: u64 count, then the elements. The
+// read side checks the count against the unread remainder before resizing.
+
+void put_vec(std::vector<std::uint8_t>& out,
+             const std::vector<std::uint32_t>& v);
+void put_vec(std::vector<std::uint8_t>& out,
+             const std::vector<std::uint64_t>& v);
+void put_vec(std::vector<std::uint8_t>& out, const std::vector<double>& v);
+
+void read_vec(Reader& r, std::vector<std::uint32_t>& v);
+void read_vec(Reader& r, std::vector<std::uint64_t>& v);
+void read_vec(Reader& r, std::vector<double>& v);
+void read_str(Reader& r, std::string& s);
+
+}  // namespace cdst::wire

@@ -1,0 +1,515 @@
+// Tests for the distributed shard-round layer (src/dist/): wire-format
+// round-trips and corruption rejection, the InProcessTransport serialization
+// oracle, and — on POSIX, where the cdst_shard_worker binary exists — the
+// SubprocessTransport matrix: a sharded round through 1/2/4 out-of-process
+// workers must be bit-identical to the direct in-process round, and a worker
+// killed mid-round must be absorbed by the shard retry path with identical
+// final routes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/cdst.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "grid/routing_grid.h"
+#include "route/netlist_gen.h"
+#include "util/rng.h"
+
+#if defined(CDST_SHARD_WORKER_PATH)
+#include "dist/subprocess_transport.h"
+#endif
+
+namespace cdst {
+namespace {
+
+ChipConfig dist_chip() {
+  ChipConfig c;
+  c.name = "dist-test";
+  c.num_nets = 24;
+  c.num_layers = 3;
+  c.nx = c.ny = 12;
+  c.capacity = 8.0;
+  c.seed = 7;
+  return c;
+}
+
+RouterOptions dist_router_options() {
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.seed = 5;
+  opts.threads = 2;
+  opts.shards = 4;
+  return opts;
+}
+
+void expect_same_routing(const RouterResult& got, const RouterResult& want) {
+  ASSERT_EQ(got.routes.size(), want.routes.size());
+  for (std::size_t i = 0; i < got.routes.size(); ++i) {
+    EXPECT_EQ(got.routes[i], want.routes[i]) << "net " << i;
+  }
+  ASSERT_EQ(got.sink_delays.size(), want.sink_delays.size());
+  for (std::size_t s = 0; s < got.sink_delays.size(); ++s) {
+    EXPECT_DOUBLE_EQ(got.sink_delays[s], want.sink_delays[s]) << "sink " << s;
+    EXPECT_DOUBLE_EQ(got.sink_weights[s], want.sink_weights[s])
+        << "sink " << s;
+  }
+}
+
+// ----------------------------------------------------------- wire messages
+
+dist::WorkerSetupMsg sample_setup(Rng& rng) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  dist::WorkerSetupMsg setup;
+  setup.nx = grid.nx();
+  setup.ny = grid.ny();
+  setup.layers = grid.layers();
+  setup.via = grid.via();
+  setup.netlist = generate_netlist(c, grid);
+  setup.method = SteinerMethod::kCD;
+  setup.oracle.seed = rng();
+  setup.oracle.dbif = 1.5;
+  setup.oracle.window_margin = 3;
+  setup.oracle.cd.use_astar = true;
+  setup.oracle.cd.dense_state_budget_bytes = 1 << 20;
+  setup.congestion.price_at_full = 6.0;
+  setup.congestion.smoothing = 0.25;
+  setup.options_seed = rng();
+  return setup;
+}
+
+dist::ShardWorkMsg sample_work(Rng& rng) {
+  dist::ShardWorkMsg work;
+  work.round = 3;
+  work.shard = 1;
+  work.shards = 4;
+  work.tile = ShardTile{1, 0, 6, 0, 12, 6};
+  for (std::uint32_t n = 0; n < 5; ++n) {
+    dist::ShardWorkMsg::NetWork nw;
+    nw.net = n * 3;
+    for (int s = 0; s < 3; ++s) {
+      nw.sink_weights.push_back(static_cast<double>(rng.uniform(1000)) / 64);
+    }
+    for (int e = 0; e < 8; ++e) {
+      nw.route_edges.push_back(static_cast<std::uint32_t>(rng.uniform(500)));
+    }
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      nw.resources.push_back(n * 16 + r);
+      nw.usage.push_back(static_cast<double>(rng.uniform(64)));
+    }
+    work.nets.push_back(nw);
+  }
+  return work;
+}
+
+dist::ShardResultMsg sample_result(Rng& rng) {
+  dist::ShardResultMsg result;
+  result.round = 3;
+  result.shard = 1;
+  for (std::uint32_t n = 0; n < 5; ++n) {
+    dist::ShardResultMsg::NetResult nr;
+    nr.net = n * 3;
+    for (int e = 0; e < 6; ++e) {
+      nr.route_edges.push_back(static_cast<std::uint32_t>(rng.uniform(500)));
+      result.route_edges_total += 1;
+    }
+    for (int s = 0; s < 3; ++s) {
+      nr.sink_delays.push_back(static_cast<double>(rng.uniform(1 << 20)));
+    }
+    result.nets.push_back(nr);
+  }
+  result.snapshot_cost_total = 1234.5;
+  return result;
+}
+
+TEST(DistWireTest, SetupRoundTripsBitIdentically) {
+  Rng rng(11);
+  const dist::WorkerSetupMsg setup = sample_setup(rng);
+  const StatusOr<dist::WorkerSetupMsg> back =
+      dist::WorkerSetupMsg::from_bytes(setup.to_bytes());
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->nx, setup.nx);
+  EXPECT_EQ(back->ny, setup.ny);
+  ASSERT_EQ(back->layers.size(), setup.layers.size());
+  for (std::size_t l = 0; l < setup.layers.size(); ++l) {
+    EXPECT_EQ(back->layers[l].name, setup.layers[l].name);
+    EXPECT_EQ(back->layers[l].dir, setup.layers[l].dir);
+    EXPECT_EQ(back->layers[l].capacity, setup.layers[l].capacity);
+    ASSERT_EQ(back->layers[l].wire_types.size(),
+              setup.layers[l].wire_types.size());
+    for (std::size_t w = 0; w < setup.layers[l].wire_types.size(); ++w) {
+      EXPECT_EQ(back->layers[l].wire_types[w].name,
+                setup.layers[l].wire_types[w].name);
+      EXPECT_EQ(back->layers[l].wire_types[w].unit_cost,
+                setup.layers[l].wire_types[w].unit_cost);
+    }
+  }
+  ASSERT_EQ(back->netlist.nets.size(), setup.netlist.nets.size());
+  for (std::size_t i = 0; i < setup.netlist.nets.size(); ++i) {
+    const Net& a = back->netlist.nets[i];
+    const Net& b = setup.netlist.nets[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.source.x, b.source.x);
+    EXPECT_EQ(a.source.y, b.source.y);
+    EXPECT_EQ(a.source.z, b.source.z);
+    ASSERT_EQ(a.sinks.size(), b.sinks.size());
+    for (std::size_t s = 0; s < b.sinks.size(); ++s) {
+      EXPECT_EQ(a.sinks[s].pos.x, b.sinks[s].pos.x);
+      EXPECT_EQ(a.sinks[s].rat, b.sinks[s].rat);
+    }
+  }
+  EXPECT_EQ(back->method, setup.method);
+  EXPECT_EQ(back->oracle.seed, setup.oracle.seed);
+  EXPECT_EQ(back->oracle.dbif, setup.oracle.dbif);
+  EXPECT_EQ(back->oracle.window_margin, setup.oracle.window_margin);
+  EXPECT_EQ(back->oracle.cd.use_astar, setup.oracle.cd.use_astar);
+  EXPECT_EQ(back->oracle.cd.dense_state_budget_bytes,
+            setup.oracle.cd.dense_state_budget_bytes);
+  EXPECT_EQ(back->oracle.cd.future_cost, nullptr);
+  EXPECT_EQ(back->oracle.cd.shared_dense_budget, nullptr);
+  EXPECT_EQ(back->congestion.price_at_full, setup.congestion.price_at_full);
+  EXPECT_EQ(back->congestion.smoothing, setup.congestion.smoothing);
+  EXPECT_EQ(back->options_seed, setup.options_seed);
+}
+
+TEST(DistWireTest, RoundMessagesRoundTripBitIdentically) {
+  Rng rng(13);
+
+  dist::PriceSnapshotMsg snapshot;
+  snapshot.round = 7;
+  for (int i = 0; i < 257; ++i) {
+    snapshot.edge_costs.push_back(static_cast<double>(rng.uniform(1 << 16)) /
+                                  7.0);
+  }
+  const StatusOr<dist::PriceSnapshotMsg> snap_back =
+      dist::PriceSnapshotMsg::from_bytes(snapshot.to_bytes());
+  ASSERT_TRUE(snap_back.ok()) << snap_back.status().to_string();
+  EXPECT_EQ(snap_back->round, snapshot.round);
+  EXPECT_EQ(snap_back->edge_costs, snapshot.edge_costs);
+
+  const dist::ShardWorkMsg work = sample_work(rng);
+  const StatusOr<dist::ShardWorkMsg> work_back =
+      dist::ShardWorkMsg::from_bytes(work.to_bytes());
+  ASSERT_TRUE(work_back.ok()) << work_back.status().to_string();
+  EXPECT_EQ(work_back->round, work.round);
+  EXPECT_EQ(work_back->shard, work.shard);
+  EXPECT_EQ(work_back->shards, work.shards);
+  EXPECT_EQ(work_back->tile.x0, work.tile.x0);
+  EXPECT_EQ(work_back->tile.y1, work.tile.y1);
+  ASSERT_EQ(work_back->nets.size(), work.nets.size());
+  for (std::size_t i = 0; i < work.nets.size(); ++i) {
+    EXPECT_EQ(work_back->nets[i].net, work.nets[i].net);
+    EXPECT_EQ(work_back->nets[i].sink_weights, work.nets[i].sink_weights);
+    EXPECT_EQ(work_back->nets[i].route_edges, work.nets[i].route_edges);
+    EXPECT_EQ(work_back->nets[i].resources, work.nets[i].resources);
+    EXPECT_EQ(work_back->nets[i].usage, work.nets[i].usage);
+  }
+
+  const dist::ShardResultMsg result = sample_result(rng);
+  const StatusOr<dist::ShardResultMsg> result_back =
+      dist::ShardResultMsg::from_bytes(result.to_bytes());
+  ASSERT_TRUE(result_back.ok()) << result_back.status().to_string();
+  EXPECT_EQ(result_back->round, result.round);
+  EXPECT_EQ(result_back->shard, result.shard);
+  ASSERT_EQ(result_back->nets.size(), result.nets.size());
+  for (std::size_t i = 0; i < result.nets.size(); ++i) {
+    EXPECT_EQ(result_back->nets[i].net, result.nets[i].net);
+    EXPECT_EQ(result_back->nets[i].route_edges, result.nets[i].route_edges);
+    EXPECT_EQ(result_back->nets[i].sink_delays, result.nets[i].sink_delays);
+  }
+  EXPECT_EQ(result_back->route_edges_total, result.route_edges_total);
+  EXPECT_EQ(result_back->snapshot_cost_total, result.snapshot_cost_total);
+
+  dist::WorkerErrorMsg error;
+  error.code = StatusCode::kUnavailable;
+  error.message = "worker went away";
+  const StatusOr<dist::WorkerErrorMsg> error_back =
+      dist::WorkerErrorMsg::from_bytes(error.to_bytes());
+  ASSERT_TRUE(error_back.ok()) << error_back.status().to_string();
+  EXPECT_EQ(error_back->code, error.code);
+  EXPECT_EQ(error_back->message, error.message);
+}
+
+TEST(DistWireTest, WorkerDeadlineAndBudgetReenterAsInternal) {
+  // A worker's kDeadlineExceeded/kResourceExhausted are ITS verdicts, not
+  // this process's: to_status must re-type them (rule status-origin keeps
+  // the canonical origins unique to the audited helpers).
+  dist::WorkerErrorMsg deadline;
+  deadline.code = StatusCode::kDeadlineExceeded;
+  deadline.message = "over budget";
+  EXPECT_EQ(deadline.to_status().code(), StatusCode::kInternal);
+  dist::WorkerErrorMsg budget;
+  budget.code = StatusCode::kResourceExhausted;
+  EXPECT_EQ(budget.to_status().code(), StatusCode::kInternal);
+  dist::WorkerErrorMsg transient;
+  transient.code = StatusCode::kUnavailable;
+  EXPECT_EQ(transient.to_status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DistWireTest, TruncationIsAlwaysRejected) {
+  // Every strict prefix of a valid encoding must parse to kInvalidArgument:
+  // the exact-consumption discipline means no prefix can be a valid message.
+  Rng rng(17);
+  const std::vector<std::vector<std::uint8_t>> encodings = {
+      sample_work(rng).to_bytes(),
+      sample_result(rng).to_bytes(),
+      dist::WorkerErrorMsg{StatusCode::kInternal, "boom"}.to_bytes(),
+  };
+  for (const std::vector<std::uint8_t>& bytes : encodings) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), len);
+      EXPECT_EQ(dist::ShardWorkMsg::from_bytes(prefix).status().code(),
+                StatusCode::kInvalidArgument)
+          << "prefix " << len;
+      EXPECT_EQ(dist::ShardResultMsg::from_bytes(prefix).status().code(),
+                StatusCode::kInvalidArgument)
+          << "prefix " << len;
+      EXPECT_EQ(dist::WorkerErrorMsg::from_bytes(prefix).status().code(),
+                StatusCode::kInvalidArgument)
+          << "prefix " << len;
+    }
+  }
+  // The same for the large setup message, sampled every 7 bytes for speed.
+  const std::vector<std::uint8_t> setup_bytes = sample_setup(rng).to_bytes();
+  for (std::size_t len = 0; len < setup_bytes.size(); len += 7) {
+    const std::span<const std::uint8_t> prefix(setup_bytes.data(), len);
+    EXPECT_EQ(dist::WorkerSetupMsg::from_bytes(prefix).status().code(),
+              StatusCode::kInvalidArgument)
+        << "prefix " << len;
+  }
+}
+
+TEST(DistWireTest, BitFlipsNeverCrashTheParsers) {
+  // Single-byte corruption anywhere in the stream must yield either a clean
+  // parse (a flipped payload double is still a double) or kInvalidArgument —
+  // never a crash or a hang (this is the ASan-lane payoff).
+  Rng rng(19);
+  const dist::ShardWorkMsg work = sample_work(rng);
+  std::vector<std::uint8_t> bytes = work.to_bytes();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0xA5;
+    const StatusOr<dist::ShardWorkMsg> parsed =
+        dist::ShardWorkMsg::from_bytes(bytes);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "byte " << i;
+    }
+    bytes[i] ^= 0xA5;
+  }
+  const dist::ShardResultMsg result = sample_result(rng);
+  bytes = result.to_bytes();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] ^= 0x5A;
+    const StatusOr<dist::ShardResultMsg> parsed =
+        dist::ShardResultMsg::from_bytes(bytes);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "byte " << i;
+    }
+    bytes[i] ^= 0x5A;
+  }
+}
+
+// ----------------------------------------------------- in-process transport
+
+TEST(DistTransportTest, DispatchBeforeConfigureIsFailedPrecondition) {
+  Rng rng(23);
+  dist::InProcessTransport transport;
+  const StatusOr<dist::ShardResultMsg> r =
+      transport.dispatch(sample_work(rng));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DistTransportTest, InProcessRoundsBitIdenticalToDirectAndToOneShard) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  const RouterOptions opts = dist_router_options();
+
+  Router direct(grid, nl, opts);
+  ASSERT_TRUE(direct.run(3).ok());
+  const RouterResult want = direct.result();
+
+  // Every round through the serialization loopback: any field a message
+  // fails to carry shows up as a routing diff here.
+  dist::InProcessTransport transport;
+  RouterOptions topts = opts;
+  topts.transport = &transport;
+  Router viaTransport(grid, nl, topts);
+  ASSERT_TRUE(viaTransport.run(3).ok());
+  expect_same_routing(viaTransport.result(), want);
+
+  // Sharding is pure scheduling: one shard through the transport lands on
+  // the same routes too.
+  RouterOptions one = topts;
+  one.shards = 1;
+  Router oneShard(grid, nl, one);
+  ASSERT_TRUE(oneShard.run(3).ok());
+  expect_same_routing(oneShard.result(), want);
+}
+
+TEST(DistTransportTest, SetOptionsReconfiguresTheTransport) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  const RouterOptions opts = dist_router_options();
+
+  RouterOptions changed = opts;
+  changed.congestion.price_at_full = 12.0;
+
+  Router direct(grid, nl, opts);
+  ASSERT_TRUE(direct.run(1).ok());
+  ASSERT_TRUE(direct.set_options(changed).ok());
+  ASSERT_TRUE(direct.run(2).ok());
+  const RouterResult want = direct.result();
+
+  // The transport must see the new congestion knobs after set_options — a
+  // stale worker world would diverge from the direct session here.
+  dist::InProcessTransport transport;
+  RouterOptions topts = opts;
+  topts.transport = &transport;
+  RouterOptions tchanged = changed;
+  tchanged.transport = &transport;
+  Router viaTransport(grid, nl, topts);
+  ASSERT_TRUE(viaTransport.run(1).ok());
+  ASSERT_TRUE(viaTransport.set_options(tchanged).ok());
+  ASSERT_TRUE(viaTransport.run(2).ok());
+  expect_same_routing(viaTransport.result(), want);
+}
+
+// ---------------------------------------------------- subprocess transport
+
+#if defined(CDST_SHARD_WORKER_PATH)
+
+TEST(DistSubprocessTest, WorkerMatrixBitIdenticalToDirect) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  const RouterOptions opts = dist_router_options();
+
+  Router direct(grid, nl, opts);
+  ASSERT_TRUE(direct.run(2).ok());
+  const RouterResult want = direct.result();
+
+  for (const int workers : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "workers=" << workers);
+    dist::SubprocessTransportOptions sopts;
+    sopts.worker_path = CDST_SHARD_WORKER_PATH;
+    sopts.workers = workers;
+    dist::SubprocessTransport transport(sopts);
+    RouterOptions topts = opts;
+    topts.transport = &transport;
+    Router session(grid, nl, topts);
+    ASSERT_TRUE(session.run(2).ok());
+    expect_same_routing(session.result(), want);
+  }
+
+  // shards == 1 through a subprocess as well: the degenerate partition.
+  dist::SubprocessTransportOptions sopts;
+  sopts.worker_path = CDST_SHARD_WORKER_PATH;
+  sopts.workers = 1;
+  dist::SubprocessTransport transport(sopts);
+  RouterOptions one = opts;
+  one.shards = 1;
+  one.transport = &transport;
+  Router oneShard(grid, nl, one);
+  ASSERT_TRUE(oneShard.run(2).ok());
+  expect_same_routing(oneShard.result(), want);
+}
+
+/// Kills the worker pool once, from the first shard event of the run — i.e.
+/// mid-round, while later shards still have dispatches to make.
+struct KillOnFirstShard final : EventSink {
+  dist::SubprocessTransport* transport{nullptr};
+  bool killed{false};
+  std::vector<FaultEvent> faults;
+
+  void on_router_shard(const RouterShardEvent& event) override {
+    (void)event;
+    if (!killed) {
+      killed = true;
+      transport->kill_workers_for_test();
+    }
+  }
+  void on_fault(const FaultEvent& event) override {
+    faults.push_back(event);
+  }
+};
+
+TEST(DistSubprocessTest, KilledWorkerMidRoundRecoversBitIdentically) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  const RouterOptions opts = dist_router_options();
+
+  Router direct(grid, nl, opts);
+  ASSERT_TRUE(direct.run(2).ok());
+  const RouterResult want = direct.result();
+
+  dist::SubprocessTransportOptions sopts;
+  sopts.worker_path = CDST_SHARD_WORKER_PATH;
+  sopts.workers = 2;
+  dist::SubprocessTransport transport(sopts);
+  KillOnFirstShard sink;
+  sink.transport = &transport;
+  RunControl control;
+  control.events = &sink;
+
+  RouterOptions topts = opts;
+  topts.transport = &transport;
+  Router session(grid, nl, topts);
+  // The kill lands mid-round: at least one later dispatch hits a dead
+  // worker, fails kUnavailable, and the retry re-executes those shards on
+  // respawned workers — with the same frozen inputs, so the final routes
+  // are bit-identical to the never-killed run.
+  ASSERT_TRUE(session.run(2, control).ok());
+  EXPECT_TRUE(sink.killed);
+  ASSERT_GE(sink.faults.size(), 1u);
+  for (const FaultEvent& fault : sink.faults) {
+    EXPECT_STREQ(fault.stage, "dist.transport");
+    EXPECT_EQ(fault.status, StatusCode::kUnavailable);
+  }
+  expect_same_routing(session.result(), want);
+}
+
+TEST(DistSubprocessTest, MissingWorkerBinaryIsUnavailableAndRecoverable) {
+  const ChipConfig c = dist_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  const RouterOptions opts = dist_router_options();
+
+  Router direct(grid, nl, opts);
+  ASSERT_TRUE(direct.run(2).ok());
+  const RouterResult want = direct.result();
+
+  dist::SubprocessTransportOptions sopts;
+  sopts.worker_path = "/nonexistent/cdst_shard_worker";
+  sopts.workers = 2;
+  dist::SubprocessTransport transport(sopts);
+  RouterOptions topts = opts;
+  topts.transport = &transport;
+  Router session(grid, nl, topts);
+  const Status st = session.run(2);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.to_string();
+  EXPECT_EQ(session.rounds_completed(), 0);
+
+  // Dropping the broken transport makes the same session finish in-process
+  // and land on the uninterrupted result: the failed round committed
+  // nothing.
+  RouterOptions fallback = opts;
+  fallback.transport = nullptr;
+  ASSERT_TRUE(session.set_options(fallback).ok());
+  ASSERT_TRUE(session.run(2).ok());
+  expect_same_routing(session.result(), want);
+}
+
+#endif  // CDST_SHARD_WORKER_PATH
+
+}  // namespace
+}  // namespace cdst

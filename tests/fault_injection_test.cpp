@@ -22,6 +22,7 @@
 
 #include "api/cdst.h"
 #include "api/scratch_pool.h"
+#include "dist/transport.h"
 #include "grid/future_cost.h"
 #include "grid/routing_grid.h"
 #include "route/netlist_gen.h"
@@ -41,6 +42,7 @@ using testutil::stress_light;
 // The sweep manifest: every CDST_FAULT_POINT site compiled into src/.
 constexpr const char* kFaultSiteManifest[] = {
     "arcplane.assign",
+    "dist.transport",
     "pool.task",
     "router.shard",
     "solver.budget_reserve",
@@ -436,6 +438,16 @@ TEST(FaultSweep, ManifestSitesAllRegisterAndFire) {
   Router session(grid, nl, sweep_router_options());
   ASSERT_TRUE(session.run(1).ok());
 
+  // A transport-backed sharded round is the only surface that executes the
+  // "dist.transport" site.
+  {
+    dist::InProcessTransport transport;
+    RouterOptions topts = sweep_router_options();
+    topts.transport = &transport;
+    Router tsession(grid, nl, topts);
+    ASSERT_TRUE(tsession.run(1).ok());
+  }
+
   const JobFixture f = make_jobs(2);
   ThreadPool pool(2);
   CdSolver solver({}, &pool);
@@ -521,6 +533,28 @@ TEST(FaultSweep, EverySiteGivesCleanStatusOrBitIdenticalResult) {
       }
     }
     reg.disarm_all();
+
+    // Transport workload: the same sharded rounds routed through an
+    // InProcessTransport — the only surface that reaches "dist.transport",
+    // and for every other site an extra pass over the transport-backed
+    // round. Bit-identity against the direct-round reference is the
+    // transport layer's core claim.
+    reg.arm(site, transient);
+    {
+      dist::InProcessTransport transport;
+      RouterOptions topts = opts;
+      topts.transport = &transport;
+      Router tsession(grid, nl, topts);
+      const Status tst = tsession.run(2);
+      reg.disarm_all();
+      if (tst.ok()) {
+        expect_same_routing(tsession.result(), want);
+      } else {
+        EXPECT_EQ(tst.code(), StatusCode::kUnavailable) << tst.to_string();
+        ASSERT_TRUE(tsession.run(2 - tsession.rounds_completed()).ok());
+        expect_same_routing(tsession.result(), want);
+      }
+    }
 
     // Stream workload: per-job surface; at most the faulted jobs fail, the
     // stream itself stays deliverable in submission order.
