@@ -1,0 +1,234 @@
+// Microbenchmarks for the blocked relax strips and the work-stealing shard
+// executor. The strip rows time the Vec4d kernels (AVX2 under the bench
+// preset's -march, the bit-identical scalar twin under CDST_FORCE_SCALAR)
+// against the per-edge scalar paths on the same instances; the sharded-round
+// row times stealing vs static execution of an imbalanced round. Every pair
+// produces bit-identical results — only the loop shape (or the schedule)
+// changes, so the deltas are pure kernel/executor cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/cdst.h"
+#include "graph/arc_cost_view.h"
+#include "graph/dijkstra.h"
+#include "grid/future_cost.h"
+#include "grid/routing_grid.h"
+#include "route/netlist_gen.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace {
+
+using namespace cdst;
+
+// ---------------------------------------------------------------------------
+// Dijkstra strip kernel: blocked Vec4d relaxation vs the per-edge loop, on
+// the grid graph the router actually searches.
+
+struct DijkstraFixture {
+  std::unique_ptr<RoutingGrid> grid;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  ArcCostView plane;
+};
+
+const DijkstraFixture& dijkstra_fixture() {
+  static const DijkstraFixture* f = [] {
+    auto* out = new DijkstraFixture;
+    out->grid = std::make_unique<RoutingGrid>(
+        96, 96, make_default_layer_stack(4), ViaSpec{});
+    Rng rng(13);
+    out->cost.resize(out->grid->graph().num_edges());
+    out->delay = out->grid->edge_delays();
+    for (std::size_t e = 0; e < out->cost.size(); ++e) {
+      out->cost[e] =
+          out->grid->base_costs()[e] * (1.0 + 3.0 * rng.uniform_double());
+    }
+    out->plane.assign(out->grid->graph(), out->cost, out->delay);
+    return out;
+  }();
+  return *f;
+}
+
+/// arg 0: per-edge scalar relaxation; arg 1: the blocked Vec4d strips.
+void BM_Relax_DijkstraCostDelay(benchmark::State& state) {
+  const bool strips = state.range(0) != 0;
+  const DijkstraFixture& f = dijkstra_fixture();
+  const VertexId source = f.grid->vertex_at(3, 5, 0);
+  for (auto _ : state) {
+    const DijkstraResult r =
+        strips ? dijkstra(f.grid->graph(), {source},
+                          CostDelayLength(f.plane, 2.5), kInvalidVertex)
+               : dijkstra(f.grid->graph(), {source},
+                          CostDelayLength{f.cost, f.delay, 2.5},
+                          kInvalidVertex);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.SetLabel(strips ? Vec4d::isa() : "per_edge");
+}
+BENCHMARK(BM_Relax_DijkstraCostDelay)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Solver strip kernel: the plane relax + batched future bounds vs the
+// per-edge path, on a router-shaped cost-distance instance.
+
+struct SolveFixture {
+  std::unique_ptr<RoutingGrid> grid;
+  std::unique_ptr<FutureCost> fc;
+  std::vector<double> cost;
+  std::vector<double> delay;
+  ArcCostView plane;
+  CostDistanceInstance inst;
+};
+
+const SolveFixture& solve_fixture() {
+  static const SolveFixture* f = [] {
+    auto* out = new SolveFixture;
+    out->grid = std::make_unique<RoutingGrid>(
+        64, 64, make_default_layer_stack(5), ViaSpec{});
+    out->fc = std::make_unique<FutureCost>(*out->grid);
+    Rng rng(29);
+    out->cost.resize(out->grid->graph().num_edges());
+    out->delay = out->grid->edge_delays();
+    for (std::size_t e = 0; e < out->cost.size(); ++e) {
+      out->cost[e] =
+          out->grid->base_costs()[e] * (1.0 + 3.0 * rng.uniform_double());
+    }
+    out->plane.assign(out->grid->graph(), out->cost, out->delay);
+    out->inst.graph = &out->grid->graph();
+    out->inst.cost = &out->cost;
+    out->inst.delay = &out->delay;
+    out->inst.dbif = 2.0;
+    out->inst.eta = 0.25;
+    std::set<VertexId> used;
+    const auto pick = [&] {
+      while (true) {
+        const VertexId v = out->grid->vertex_at(
+            static_cast<std::int32_t>(rng.uniform(64)),
+            static_cast<std::int32_t>(rng.uniform(64)), 0);
+        if (used.insert(v).second) return v;
+      }
+    };
+    out->inst.root = pick();
+    for (int s = 0; s < 24; ++s) {
+      out->inst.sinks.push_back(Terminal{pick(), 0.1 + rng.uniform_double()});
+    }
+    return out;
+  }();
+  return *f;
+}
+
+/// arg 0: per-edge scalar relaxation; arg 1: the blocked Vec4d strips with
+/// the batched inline future bound.
+void BM_Relax_CdSolveStrip(benchmark::State& state) {
+  const bool strips = state.range(0) != 0;
+  const SolveFixture& f = solve_fixture();
+  CostDistanceInstance inst = f.inst;
+  inst.arc_costs = strips ? &f.plane : nullptr;
+  SolverOptions opts;
+  opts.future_cost = f.fc.get();
+  CdSolver solver(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst));
+  }
+  state.SetLabel(strips ? Vec4d::isa() : "per_edge");
+}
+BENCHMARK(BM_Relax_CdSolveStrip)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor: an imbalanced sharded round (most nets in one
+// tile, so static execution idles the other lanes) with stealing off vs on.
+// Results are bit-identical; the delta is merge-barrier idle time.
+
+struct RouterFixture {
+  ChipConfig config;
+  RoutingGrid grid;
+  Netlist netlist;
+};
+
+const RouterFixture& router_fixture() {
+  static const RouterFixture* f = [] {
+    ChipConfig c;
+    c.name = "bench_relax";
+    c.num_nets = 200;
+    c.num_layers = 4;
+    c.nx = c.ny = 28;
+    c.capacity = 12.0;
+    c.seed = 19;
+    // Clustered pins: netlist_gen draws uniformly, so the imbalance is
+    // produced by the shard lattice instead — 16 tiles over 200 nets leaves
+    // some tiles several times hotter than others.
+    auto* out = new RouterFixture{c, make_chip_grid(c), {}};
+    out->netlist = generate_netlist(c, out->grid);
+    return out;
+  }();
+  return *f;
+}
+
+/// arg 0: static shard execution; arg 1: work-stealing lanes. 4 workers,
+/// 16 shards, 2 Lagrangean rounds.
+void BM_Relax_ShardedRoundStealing(benchmark::State& state) {
+  const bool stealing = state.range(0) != 0;
+  const RouterFixture& f = router_fixture();
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.threads = 4;
+  opts.shards = 16;
+  opts.shard_stealing = stealing;
+  for (auto _ : state) {
+    Router session(f.grid, f.netlist, opts);
+    const Status st = session.run(2);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_relax: run failed: %s\n",
+                   st.to_string().c_str());
+      std::abort();
+    }
+    benchmark::DoNotOptimize(session.result());
+  }
+  state.SetLabel(stealing ? "stealing" : "static");
+}
+BENCHMARK(BM_Relax_ShardedRoundStealing)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Emits machine-readable results to BENCH_relax.json by default so the perf
+// trajectory is tracked PR-over-PR (CI uploads it as an artifact); any
+// explicit --benchmark_out= flag takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_relax.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,6 +42,11 @@ Rules (each has a stable id, used by the allow directive):
                 message header (wire::expect_header or a helper wrapping it)
                 before reading any field, so corrupt or foreign bytes are
                 rejected by magic/version, never mis-parsed field by field.
+  intrinsics-only-in-simd-header
+                No vendor SIMD intrinsics (_mm*_ calls, __m128/__m256/__m512
+                types, *intrin.h includes) outside src/util/simd.h: kernels
+                express their arithmetic through Vec4d so exactly one file
+                dispatches on the ISA and the scalar twin can never drift.
 
 Suppressing a finding inline:
 
@@ -193,6 +198,12 @@ STATUS_ORIGIN_RE = re.compile(
 STATUS_ORIGIN_FILES = ("src/api/status.h", "src/api/scratch_pool.h")
 FAULT_POINT_RE = re.compile(r'CDST_FAULT_POINT\(\s*"([^"]+)"')
 FAULT_MANIFEST = "tests/fault_injection_test.cpp"
+INTRINSIC_RE = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
+    r"|#\s*include\s*<(?:imm|x86|[a-z]+mm)intrin\.h>"
+)
+# The one file allowed to contain vendor intrinsics (the Vec4d dispatch).
+SIMD_HEADER = "src/util/simd.h"
 FROM_BYTES_DEF_RE = re.compile(r"\bfrom_bytes\s*\(")
 WIRE_READ_RE = re.compile(
     r"\.\s*(?:u8|u16|u32|u64|f64)\s*\(|\bread_vec\b|\bread_str\b"
@@ -384,6 +395,19 @@ def rule_wire_format(src: SourceFile):
     return findings
 
 
+def rule_intrinsics(src: SourceFile):
+    if src.rel == SIMD_HEADER:
+        return []
+    return scan_line_rule(
+        src,
+        "intrinsics-only-in-simd-header",
+        INTRINSIC_RE,
+        "vendor SIMD intrinsic outside util/simd.h: express the kernel "
+        "through Vec4d so one file dispatches on the ISA and the scalar "
+        "twin stays bit-identical",
+    )
+
+
 def rule_bad_directive(src: SourceFile):
     return [
         (
@@ -405,6 +429,7 @@ LINE_RULES = [
     rule_nolint_reason,
     rule_status_origin,
     rule_wire_format,
+    rule_intrinsics,
     rule_bad_directive,
 ]
 
@@ -564,6 +589,8 @@ def self_test() -> int:
         "src/io/clean_wire.cpp": set(),
         "src/util/bad_fault_site.cpp": {"fault-site"},
         "src/util/clean_fault_site.cpp": set(),
+        "src/util/bad_intrinsics.cpp": {"intrinsics-only-in-simd-header"},
+        "src/util/simd.h": set(),
         "tsan.supp": {"tsan-supp"},
     }
 

@@ -1,0 +1,9 @@
+// Fixture: vendor intrinsics outside util/simd.h must fire
+// intrinsics-only-in-simd-header (the include, the type, and the calls).
+#include <immintrin.h>
+
+double bad_sum2(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  v = _mm_add_pd(v, v);
+  return _mm_cvtsd_f64(v);
+}

@@ -1,0 +1,11 @@
+// Fixture twin of the real util/simd.h: the single file the
+// intrinsics-only-in-simd-header rule exempts, so intrinsics here are clean.
+#pragma once
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+inline __m256d fixture_vec_add(__m256d a, __m256d b) {
+  return _mm256_add_pd(a, b);
+}
+#endif

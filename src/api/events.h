@@ -82,6 +82,12 @@ struct RouterShardEvent {
   /// Wall seconds spent inside ShardTransport::dispatch for this shard;
   /// 0.0 when the shard ran in-process without a transport.
   double dispatch_seconds{0.0};
+  /// Work-stealing telemetry (in-process rounds with
+  /// RouterOptions::shard_stealing; otherwise 0): nets of this shard routed
+  /// by lanes other than the shard's owner, and steal probes that found the
+  /// shard fully claimed but still in flight.
+  std::size_t stolen_nets{0};
+  std::size_t steal_waits{0};
 };
 
 /// A router round boundary: batch progress inside a round, the round

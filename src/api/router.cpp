@@ -443,6 +443,63 @@ struct Router::Impl {
     // one — the net-order merge below never sees the difference.
     std::vector<std::uint8_t> shard_done(shard_map.nets.size(), 0);
 
+    // Routes nets mine[b, e) of shard sh against the frozen snapshot —
+    // shared by the static whole-shard tasks and the work-stealing lanes.
+    // `excluded` is caller-recycled scratch (one per worker, cleared per
+    // net).
+    const auto route_net_span = [&](std::size_t sh, std::uint32_t b,
+                                    std::uint32_t e,
+                                    SparseMap<double>& excluded) {
+      const std::vector<std::uint32_t>& mine = shard_map.nets[sh];
+      for (std::uint32_t k = b; k < e; ++k) {
+        const std::uint32_t i = mine[k];
+        const Net& net = netlist.nets[i];
+        if (net.sinks.empty()) continue;
+        if (controls.cancel != nullptr &&
+            controls.cancel->load(std::memory_order_relaxed)) {
+          // cdst-lint: allow(api-throw) internal unwind: caught at the
+          // fan-out boundary below, mapped to kCancelled.
+          throw SolveCancelled();
+        }
+        throw_if_deadline_expired(&controls);
+        // The net prices against the snapshot minus its own committed
+        // usage — the snapshot-world equivalent of ripping it up.
+        excluded.clear();
+        for (const EdgeId ge : routes[i]) {
+          const RoutingGrid::EdgeInfo& info = grid.edge_info(ge);
+          excluded[info.resource] += info.width;
+        }
+        const RoundPricing pricing{round_costs,
+                                   routes[i].empty() ? nullptr : &excluded};
+        outcomes[i] = route_one_net(i, round, &pricing, controls);
+      }
+    };
+
+    // Serialized shard boundary: sinks need not be thread-safe and
+    // nets_done is monotonic across events.
+    const auto emit_shard_event = [&](std::size_t sh, double dispatch_seconds,
+                                      std::size_t stolen_nets,
+                                      std::size_t steal_waits) {
+      MutexLock lock(progress_mu);
+      nets_done += shard_map.nets[sh].size();
+      const ShardTile tile =
+          shard_tile(shard_map.tiles, static_cast<int>(sh));
+      RouterShardEvent event;
+      event.round = round;
+      event.target_round = target_rounds;
+      event.shard = static_cast<int>(sh);
+      event.shards = shard_map.tiles.num_shards();
+      event.tile_x = tile.tx;
+      event.tile_y = tile.ty;
+      event.shard_nets = shard_map.nets[sh].size();
+      event.nets_done = nets_done;
+      event.nets_total = num_nets;
+      event.dispatch_seconds = dispatch_seconds;
+      event.stolen_nets = stolen_nets;
+      event.steal_waits = steal_waits;
+      fan.emit_router_shard(event);
+    };
+
     const std::function<void(std::size_t)> route_shard =
         [&](std::size_t sh) {
           if (shard_done[sh] != 0) return;
@@ -473,50 +530,62 @@ struct Router::Impl {
           } else {
             // One exclusion map per shard task, recycled across its nets.
             SparseMap<double> excluded;
-            for (const std::uint32_t i : mine) {
-              const Net& net = netlist.nets[i];
-              if (net.sinks.empty()) continue;
-              if (controls.cancel != nullptr &&
-                  controls.cancel->load(std::memory_order_relaxed)) {
-                // cdst-lint: allow(api-throw) internal unwind: caught at
-                // the parallel_for boundary below, mapped to kCancelled.
-                throw SolveCancelled();
-              }
-              throw_if_deadline_expired(&controls);
-              // The net prices against the snapshot minus its own committed
-              // usage — the snapshot-world equivalent of ripping it up.
-              excluded.clear();
-              for (const EdgeId e : routes[i]) {
-                const RoutingGrid::EdgeInfo& info = grid.edge_info(e);
-                excluded[info.resource] += info.width;
-              }
-              const RoundPricing pricing{
-                  round_costs, routes[i].empty() ? nullptr : &excluded};
-              outcomes[i] = route_one_net(i, round, &pricing, controls);
-            }
+            route_net_span(sh, 0, static_cast<std::uint32_t>(mine.size()),
+                           excluded);
           }
           if (fan.active()) {
-            // Serialized shard boundary: sinks need not be thread-safe and
-            // nets_done is monotonic across events.
-            MutexLock lock(progress_mu);
-            nets_done += mine.size();
-            const ShardTile tile =
-                shard_tile(shard_map.tiles, static_cast<int>(sh));
-            RouterShardEvent event;
-            event.round = round;
-            event.target_round = target_rounds;
-            event.shard = static_cast<int>(sh);
-            event.shards = shard_map.tiles.num_shards();
-            event.tile_x = tile.tx;
-            event.tile_y = tile.ty;
-            event.shard_nets = mine.size();
-            event.nets_done = nets_done;
-            event.nets_total = num_nets;
-            event.dispatch_seconds = dispatch_seconds;
-            fan.emit_router_shard(event);
+            emit_shard_event(sh, dispatch_seconds, /*stolen_nets=*/0,
+                             /*steal_waits=*/0);
           }
           shard_done[sh] = 1;
         };
+
+    // Work-stealing lane over the ShardStealSchedule: claims whole shards
+    // (owner phase), drains each in spans, then steals spans from
+    // unfinished shards. Whichever lane routes a shard's last span owns its
+    // completion event. The schedule only reorders execution — every net is
+    // claimed exactly once and commits into outcomes[] by net index — so
+    // results are bit-identical to the static route_shard path.
+    const auto steal_lane = [&](ShardStealSchedule& sched) {
+      SparseMap<double> excluded;
+      std::vector<ShardStealSchedule::Span> lifo;
+      const auto route_spans = [&] {
+        while (!lifo.empty()) {
+          const ShardStealSchedule::Span s = lifo.back();
+          lifo.pop_back();
+          const auto sh = static_cast<std::size_t>(s.shard);
+          route_net_span(sh, s.begin, s.end, excluded);
+          if (sched.complete(s)) {
+            if (fan.active()) {
+              emit_shard_event(sh, /*dispatch_seconds=*/0.0,
+                               sched.stolen_nets(s.shard),
+                               sched.steal_waits(s.shard));
+            }
+            shard_done[sh] = 1;
+          }
+        }
+      };
+      for (int sh = sched.claim_shard(); sh >= 0; sh = sched.claim_shard()) {
+        CDST_FAULT_POINT("router.shard");
+        for (;;) {
+          const ShardStealSchedule::Span s =
+              sched.take_span(sh, /*stolen=*/false);
+          if (!s.valid()) break;
+          lifo.push_back(s);
+          // Claim-ahead: a second span per cursor visit halves the hot
+          // cursor's traffic; the LIFO pop keeps spans cache-warm.
+          const ShardStealSchedule::Span t =
+              sched.take_span(sh, /*stolen=*/false);
+          if (t.valid()) lifo.push_back(t);
+          route_spans();
+        }
+      }
+      for (ShardStealSchedule::Span s = sched.steal_span(); s.valid();
+           s = sched.steal_span()) {
+        lifo.push_back(s);
+        route_spans();
+      }
+    };
     // Bounded retry around the shard fan-out: a retryable (injected or
     // transient) fault fails only the shards it interrupted; those
     // re-execute serially on the next attempt while completed shards are
@@ -526,9 +595,17 @@ struct Router::Impl {
     // propagates to run()'s status mapping (retrying could not help: the
     // footprint exceeds the whole budget).
     constexpr int kMaxShardAttempts = 3;
+    // Stealing is an in-process executor policy: transport dispatch keeps
+    // whole shards as its work unit, and retries re-execute serially.
+    const bool stealing = transport == nullptr && options.shard_stealing;
     for (int attempt = 1;; ++attempt) {
       try {
-        if (attempt == 1) {
+        if (attempt == 1 && stealing) {
+          ShardStealSchedule sched(shard_map, shard_done);
+          pool->parallel_for(
+              0, static_cast<std::size_t>(pool->concurrency()),
+              [&](std::size_t) { steal_lane(sched); });
+        } else if (attempt == 1) {
           pool->parallel_for(0, shard_map.nets.size(), route_shard);
         } else {
           for (std::size_t sh = 0; sh < shard_map.nets.size(); ++sh) {

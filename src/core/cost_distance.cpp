@@ -17,6 +17,7 @@
 #include "util/logging.h"
 #include "util/prefetch.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/sparse_map.h"
 #include "util/two_level_heap.h"
 
@@ -25,6 +26,8 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::uint32_t kNoComp = 0xffffffffu;
+/// relax_to sentinel: relaxation rejected, no heap push owed.
+constexpr std::uint32_t kNoPush = 0xffffffffu;
 
 struct Label {
   VertexId vertex{kInvalidVertex};
@@ -58,7 +61,7 @@ struct SearchState {
     if (slots_.size() != n) {
       slots_.assign(n, VersionedSlot{});
       epoch_ = 1;
-    } else if (++epoch_ == 0) {  // u32 wrap: invalidate all stamps the slow way
+    } else if (++epoch_ == 0) {  // u16 wrap: invalidate all stamps the slow way
       std::fill(slots_.begin(), slots_.end(), VersionedSlot{});
       epoch_ = 1;
     }
@@ -95,13 +98,13 @@ struct SearchState {
   bool h_cached(VertexId v, std::uint32_t gen, double* h) const {
     if (!dense_) return false;
     const VersionedSlot& s = slots_[v];
-    if (s.h_stamp != gen) return false;
+    if (s.h_stamp != static_cast<std::uint16_t>(gen)) return false;
     *h = s.h;
     return true;
   }
   void store_h(VertexId v, std::uint32_t gen, double h) {
     if (!dense_) return;
-    slots_[v].h_stamp = gen;
+    slots_[v].h_stamp = static_cast<std::uint16_t>(gen);
     slots_[v].h = h;
   }
 
@@ -110,15 +113,26 @@ struct SearchState {
   static constexpr std::size_t slot_bytes() { return sizeof(VersionedSlot); }
 
  private:
+  /// 16 bytes so four slots share a cache line: the relax loop's slot loads
+  /// are the solver's dominant memory traffic, and grid graphs give same-row
+  /// neighbours adjacent vertex ids — with 16-byte slots those land on the
+  /// line the settled vertex already pulled (the 24-byte layout left them
+  /// straddling lines). Keeping the memo value inside the slot matters the
+  /// same way: a validated hit reads h off the line the probe just warmed.
+  /// The u16 stamps are safe: the search epoch wraps inside reset() (full
+  /// clear), and the solver fences the merge generation below 2^16
+  /// (drop_all at solve setup), so a truncated comparison can never alias a
+  /// stale stamp.
   struct VersionedSlot {
-    std::uint32_t stamp{0};    ///< valid iff equal to the owner's epoch
+    std::uint16_t stamp{0};    ///< valid iff equal to the owner's epoch
+    std::uint16_t h_stamp{0};  ///< valid iff equal to the solver's merge gen
     std::uint32_t idx{0};
-    std::uint32_t h_stamp{0};  ///< valid iff equal to the solver's merge gen
     double h{0.0};
   };
+  static_assert(sizeof(VersionedSlot) == 16);
   std::vector<VersionedSlot> slots_;
   SparseMap<std::uint32_t> sparse_;  ///< vertex -> index + 1 (sparse mode)
-  std::uint32_t epoch_{0};
+  std::uint16_t epoch_{0};
   bool dense_{true};
 };
 
@@ -237,6 +251,16 @@ class SolverQueue {
     }
     const LazyEntry e = lazy_.top();
     lazy_.pop();
+    return Min{e.group, e.entry, e.key};
+  }
+
+  /// Peeks the global minimum without popping. Precondition: !empty().
+  Min peek_global_min() const {
+    if (kind_ == QueueKind::kTwoLevel) {
+      const auto m = two_level_.global_min();
+      return Min{m.group, m.entry, m.key};
+    }
+    const LazyEntry& e = lazy_.top();
     return Min{e.group, e.entry, e.key};
   }
 
@@ -369,6 +393,19 @@ class Solver {
       CDST_CHECK_MSG(!heap_.empty(),
                      "cost-distance: terminals are not connected in the graph");
       const auto top = heap_.pop_global_min();
+      // Software-pipeline the pop loop: the new global minimum is (almost
+      // always) the next label processed, and its Label line is a data-
+      // dependent load the hardware prefetcher cannot see until the next
+      // iteration begins. Warming it here overlaps the fetch with this
+      // iteration's settle; when the settle pushes a new minimum instead,
+      // the only cost is one speculatively-warmed line.
+      if (!heap_.empty()) {
+        const auto nxt = heap_.peek_global_min();
+        if (nxt.group < searches_.size() && searches_[nxt.group].active) {
+          prefetch_read(searches_[nxt.group].state->labels.data() +
+                        (nxt.entry >> 1));
+        }
+      }
       const std::uint32_t u = top.group;
       if (u >= searches_.size() || !searches_[u].active) continue;
       const std::uint32_t label_idx = top.entry >> 1;
@@ -426,11 +463,13 @@ class Solver {
 
     // Recycled scratch: O(1)-ish resets that keep every allocation. The
     // h-generation is monotonic across solves so recycled states cannot leak
-    // memoized bounds; near the u32 wrap the retained states are dropped
-    // wholesale (fresh states start at stamp 0), leaving 2^28 generations of
-    // headroom — far more merges than any single solve performs.
+    // memoized bounds; slots store it truncated to u16, so before it could
+    // reach the 16-bit wrap the retained states are dropped wholesale (fresh
+    // states start at stamp 0) and it restarts — the 2^15 generations of
+    // headroom left to the fence cover far more merges (one per sink) than
+    // any single solve performs.
     state_pool_.configure(g_.num_vertices(), opts_.pool_search_state, dense);
-    if (scratch_.h_gen >= 0xf0000000u) {
+    if (scratch_.h_gen >= 0x8000u) {
       state_pool_.drop_all();
       scratch_.h_gen = 0;
     }
@@ -550,37 +589,105 @@ class Solver {
     SearchState& st = *searches_[comp].state;
     double cached;
     if (st.h_cached(x, scratch_.h_gen, &cached)) return cached;
+    if (pb_.valid()) {
+      // Every inline-plane bound — single misses here, batched misses in
+      // the strip relax loop — funnels through future_bounds_plane, so each
+      // h of a solve is produced by one instruction sequence regardless of
+      // which path asked first.
+      double h;
+      future_bounds_plane(comp, &x, 1, &h);
+      return h;
+    }
     const double w = comps_[comp].weight;
     const bool cost_ok = comps_[comp].singleton;  // discount feasibility
     const VertexId rootv = comps_[root_comp_].terminal;
-
-    double h;
-    Point2 x_xy;
-    if (pb_.valid()) {
-      // SoA fast path: one position load per endpoint, bounds inline — no
-      // virtual dispatch, no div/mod coordinate decode. Same formulas, same
-      // evaluation order, bit-identical h.
-      x_xy = pb_.xy(x);
-      h = w * pb_.delay_lb(x, rootv);
-      if (cost_ok) h += pb_.cost_lb(x, rootv);
-    } else {
-      const FutureCostOracle& fc = *opts_.future_cost;
-      x_xy = fc.xy(x);
-      // Root target: exact vertex known, strongest bound (ALT-capable).
-      h = w * fc.delay_lb(x, rootv);
-      if (cost_ok) h += fc.cost_lb(x, rootv);
-    }
+    const FutureCostOracle& fc = *opts_.future_cost;
+    const Point2 x_xy = fc.xy(x);
+    // Root target: exact vertex known, strongest bound (ALT-capable).
+    double h = w * fc.delay_lb(x, rootv);
+    if (cost_ok) h += fc.cost_lb(x, rootv);
 
     // Nearest other terminal in the plane.
-    const auto near = nn_->nearest(x_xy, comp);
-    if (near.found) {
-      const double dist = static_cast<double>(near.distance);
+    const std::int64_t nd = nn_->nearest_distance(x_xy, comp);
+    if (nd != std::numeric_limits<std::int64_t>::max()) {
+      const double dist = static_cast<double>(nd);
       double ht = dist * w * fc_min_unit_delay_;
       if (cost_ok) ht += dist * fc_min_unit_cost_;
       h = std::min(h, ht);
     }
     st.store_h(x, scratch_.h_gen, h);
     return h;
+  }
+
+  /// Inline-plane future bounds for up to Vec4d::kLanes vertices at once:
+  /// the root-target term evaluates as Vec4d geometry (one L1/via-delta pass
+  /// shared by the delay and cost bounds, landmark tables folded by exact
+  /// max), then the per-vertex nearest-terminal probe and memo store run
+  /// scalar. Lane arithmetic mirrors the scalar formula shapes exactly
+  /// (util/simd.h bit-identity contract); the int32 coordinates and their
+  /// L1 sums are exactly representable as doubles, so evaluating the deltas
+  /// in double lanes loses nothing.
+  void future_bounds_plane(std::uint32_t comp, const VertexId* xs,
+                           std::uint32_t cnt, double* out) {
+    const double w = comps_[comp].weight;
+    const bool cost_ok = comps_[comp].singleton;  // discount feasibility
+    const VertexId rootv = comps_[root_comp_].terminal;
+    const Point3& pr = pb_.positions[rootv];
+
+    // Short groups pad with the last vertex: the pad lanes compute a valid
+    // (discarded) bound instead of reading out of range.
+    VertexId gx[Vec4d::kLanes];
+    alignas(kVecAlign) double axd[Vec4d::kLanes];
+    alignas(kVecAlign) double ayd[Vec4d::kLanes];
+    alignas(kVecAlign) double azd[Vec4d::kLanes];
+    for (std::uint32_t k = 0; k < Vec4d::kLanes; ++k) {
+      gx[k] = xs[k < cnt ? k : cnt - 1];
+      const Point3& p = pb_.positions[gx[k]];
+      axd[k] = static_cast<double>(p.x);
+      ayd[k] = static_cast<double>(p.y);
+      azd[k] = static_cast<double>(p.z);
+    }
+    const Vec4d dx = Vec4d::abs(Vec4d::load(axd) -
+                                Vec4d::broadcast(static_cast<double>(pr.x)));
+    const Vec4d dy = Vec4d::abs(Vec4d::load(ayd) -
+                                Vec4d::broadcast(static_cast<double>(pr.y)));
+    const Vec4d l1 = dx + dy;
+    const Vec4d dz = Vec4d::abs(Vec4d::load(azd) -
+                                Vec4d::broadcast(static_cast<double>(pr.z)));
+    // h = w * delay_lb(x, root) [+ cost_lb(x, root)] — the same l1*unit +
+    // dz*via expression shape per term as PlaneBoundData's scalar formulas.
+    Vec4d h = Vec4d::broadcast(w) *
+              (l1 * Vec4d::broadcast(pb_.min_unit_delay) +
+               dz * Vec4d::broadcast(pb_.min_via_delay));
+    if (cost_ok) {
+      Vec4d clb = l1 * Vec4d::broadcast(pb_.min_unit_cost) +
+                  dz * Vec4d::broadcast(pb_.min_via_cost);
+      for (std::size_t i = 0; i < pb_.num_landmarks; ++i) {
+        const double* t = pb_.landmark_tables[i].data();
+        const Vec4d ad =
+            Vec4d::abs(Vec4d::gather(t, gx) - Vec4d::broadcast(t[rootv]));
+        // max(ad, clb) = (ad > clb) ? ad : clb — exactly the scalar fold.
+        clb = Vec4d::max(ad, clb);
+      }
+      h = h + clb;
+    }
+    alignas(kVecAlign) double h4[Vec4d::kLanes];
+    h.store(h4);
+
+    SearchState& st = *searches_[comp].state;
+    for (std::uint32_t k = 0; k < cnt; ++k) {
+      double hk = h4[k];
+      // Nearest other terminal in the plane.
+      const std::int64_t nd = nn_->nearest_distance(pb_.xy(xs[k]), comp);
+      if (nd != std::numeric_limits<std::int64_t>::max()) {
+        const double dist = static_cast<double>(nd);
+        double ht = dist * w * fc_min_unit_delay_;
+        if (cost_ok) ht += dist * fc_min_unit_cost_;
+        hk = std::min(hk, ht);
+      }
+      st.store_h(xs[k], scratch_.h_gen, hk);
+      out[k] = hk;
+    }
   }
 
   /// b(u, v) of the paper: optimally balanced weighted bifurcation penalty,
@@ -629,34 +736,40 @@ class Solver {
     const std::uint32_t next_depth = lab.depth + 1;
 
     // Shared label update; `ng` must be computed as base_g + (c + w * d) so
-    // the plane and per-edge paths stay bit-identical.
-    const auto relax_to = [&](VertexId to, EdgeId e, double ng) {
+    // the plane and per-edge paths stay bit-identical. Returns the heap
+    // entry id of an accepted relaxation (kNoPush otherwise) — the caller
+    // issues the push once the future bound is resolved, so relax_to never
+    // touches the heap and both paths push in exactly arc order.
+    const auto relax_to = [&](VertexId to, EdgeId e,
+                              double ng) -> std::uint32_t {
       std::uint32_t& slot = su.slot(to);
       if (slot == 0) {
         su.labels.push_back(
             Label{to, ng, label_idx, e, next_depth, false, false});
         slot = static_cast<std::uint32_t>(su.labels.size());
-        heap_.push_or_decrease(u, (slot - 1) * 2, ng + future_bound(u, to));
         ++stats_.labels_relaxed;
-      } else {
-        Label& nl = su.labels[slot - 1];
-        if (!nl.settled && ng < nl.g) {
-          nl.g = ng;
-          nl.parent_idx = label_idx;
-          nl.parent_edge = e;
-          nl.depth = next_depth;
-          heap_.push_or_decrease(u, (slot - 1) * 2, ng + future_bound(u, to));
-          ++stats_.labels_relaxed;
-        }
+        return (slot - 1) * 2;
       }
+      Label& nl = su.labels[slot - 1];
+      if (!nl.settled && ng < nl.g) {
+        nl.g = ng;
+        nl.parent_idx = label_idx;
+        nl.parent_edge = e;
+        nl.depth = next_depth;
+        ++stats_.labels_relaxed;
+        return (slot - 1) * 2;
+      }
+      return kNoPush;
     };
 
     if (plane_ != nullptr) {
-      // Blocked SoA relaxation: lengths evaluate over contiguous per-arc
-      // strips (no loads depend on earlier iterations, so the strip pass
-      // vectorizes), head slots are prefetched while the arithmetic runs,
-      // and the III-A discount probe is hoisted out entirely for singleton
-      // components — which own no tree edges by construction.
+      // Blocked SoA relaxation: strip metrics evaluate as two Vec4d
+      // operations over the contiguous per-arc arrays (the plane's zeroed
+      // tail pad keeps full-width loads in-bounds on the last partial
+      // strip; lanes beyond the strip count are computed and discarded),
+      // head slots are prefetched while the arithmetic runs, and the III-A
+      // discount probe is hoisted out entirely for singleton components —
+      // which own no tree edges by construction.
       const std::uint32_t lo = g_.arc_begin(vtx);
       const std::uint32_t hi = g_.arc_end(vtx);
       const VertexId* heads = g_.arc_heads().data();
@@ -666,24 +779,93 @@ class Solver {
       const double* ad = plane_->arc_delay_data();
       const bool may_discount =
           opts_.discount_components && !comps_[u].singleton;
-      constexpr std::uint32_t kStrip = 8;
-      double ng[kStrip];
-      for (std::uint32_t s = lo; s < hi; s += kStrip) {
-        const std::uint32_t cnt = std::min(kStrip, hi - s);
-        for (std::uint32_t k = 0; k < cnt; ++k) {
-          ng[k] = base_g + (ac[s + k] + w * ad[s + k]);
-        }
+      const Vec4d bg4 = Vec4d::broadcast(base_g);
+      const Vec4d w4 = Vec4d::broadcast(w);
+      alignas(kVecAlign) double ng[kRelaxStrip];
+      for (std::uint32_t s = lo; s < hi; s += kRelaxStrip) {
+        const std::uint32_t cnt = std::min(kRelaxStrip, hi - s);
+        // ng = base_g + (cost + w * delay): the same expression shape as
+        // the per-edge path, per the util/simd.h bit-identity contract.
+        Vec4d ng0 = bg4 + (Vec4d::load(ac + s) + w4 * Vec4d::load(ad + s));
+        Vec4d ng1 = bg4 + (Vec4d::load(ac + s + Vec4d::kLanes) +
+                           w4 * Vec4d::load(ad + s + Vec4d::kLanes));
         if (may_discount) {
+          // Edges already owned by u are traversed at zero *cost* under
+          // the Section III-A discount; the delay part always applies.
+          // The ownership probe is a scalar hash/bitset lookup; only the
+          // discounted lanes re-blend.
+          unsigned dm = 0;
           for (std::uint32_t k = 0; k < cnt; ++k) {
-            // Edges already owned by u are traversed at zero *cost* under
-            // the Section III-A discount; the delay part always applies.
-            if (edge_discounted(earr[s + k], u)) {
-              ng[k] = base_g + w * ad[s + k];
-            }
+            if (edge_discounted(earr[s + k], u)) dm |= 1u << k;
+          }
+          if ((dm & 0xfu) != 0) {
+            ng0 = Vec4d::blend(ng0, bg4 + w4 * Vec4d::load(ad + s),
+                               static_cast<int>(dm & 0xfu));
+          }
+          if ((dm >> Vec4d::kLanes) != 0) {
+            ng1 = Vec4d::blend(
+                ng1, bg4 + w4 * Vec4d::load(ad + s + Vec4d::kLanes),
+                static_cast<int>(dm >> Vec4d::kLanes));
           }
         }
+        ng0.store(ng);
+        ng1.store(ng + Vec4d::kLanes);
+        // Accepted relaxations defer their pushes only to the end of the
+        // strip: memo hits resolve inline off the VersionedSlot line the
+        // relaxation just touched, misses batch up to Vec4d::kLanes-wide
+        // through future_bounds_plane, and the pushes then replay in arc
+        // order against fixed stack arrays. The bound cannot change a key:
+        // h(comp, x) is pure w.r.t. the heap and label state within one
+        // settle, so the heap sequence is identical to pushing inline.
+        std::uint32_t pk[kRelaxStrip];    // lane index of accepted push
+        std::uint32_t keys[kRelaxStrip];  // heap entry id of accepted push
+        std::uint32_t np = 0;
         for (std::uint32_t k = 0; k < cnt; ++k) {
-          relax_to(heads[s + k], earr[s + k], ng[k]);
+          const std::uint32_t key = relax_to(heads[s + k], earr[s + k], ng[k]);
+          if (key != kNoPush) {
+            pk[np] = k;
+            keys[np] = key;
+            ++np;
+          }
+        }
+        if (np == 0) continue;
+        if (!astar_on_) {
+          for (std::uint32_t i = 0; i < np; ++i) {
+            heap_.push_or_decrease(u, keys[i], ng[pk[i]]);
+          }
+          continue;
+        }
+        double h[kRelaxStrip];
+        std::uint32_t miss[kRelaxStrip];
+        std::uint32_t nm = 0;
+        for (std::uint32_t i = 0; i < np; ++i) {
+          double cached;
+          if (su.h_cached(heads[s + pk[i]], scratch_.h_gen, &cached)) {
+            h[i] = cached;
+          } else {
+            miss[nm++] = i;
+          }
+        }
+        if (nm != 0 && pb_.valid()) {
+          VertexId xs[Vec4d::kLanes];
+          double out[Vec4d::kLanes];
+          for (std::uint32_t m = 0; m < nm; m += Vec4d::kLanes) {
+            const std::uint32_t gc = std::min(Vec4d::kLanes, nm - m);
+            for (std::uint32_t k = 0; k < gc; ++k) {
+              xs[k] = heads[s + pk[miss[m + k]]];
+            }
+            future_bounds_plane(u, xs, gc, out);
+            for (std::uint32_t k = 0; k < gc; ++k) {
+              h[miss[m + k]] = out[k];
+            }
+          }
+        } else {
+          for (std::uint32_t j = 0; j < nm; ++j) {
+            h[miss[j]] = future_bound(u, heads[s + pk[miss[j]]]);
+          }
+        }
+        for (std::uint32_t i = 0; i < np; ++i) {
+          heap_.push_or_decrease(u, keys[i], ng[pk[i]] + h[i]);
         }
       }
       return;
@@ -696,7 +878,16 @@ class Solver {
       const double ng = base_g + (edge_discounted(a.edge, u)
                                       ? w * d_[a.edge]
                                       : metric(a.edge));
-      relax_to(a.to, a.edge, ng);
+      const std::uint32_t key = relax_to(a.to, a.edge, ng);
+      if (key == kNoPush) continue;
+      // Mirrors the strip tail exactly: the bare `ng` key when A* is off
+      // (never `ng + 0.0`, which would flip a -0.0), the memoized bound
+      // added on top otherwise.
+      if (!astar_on_) {
+        heap_.push_or_decrease(u, key, ng);
+      } else {
+        heap_.push_or_decrease(u, key, ng + future_bound(u, a.to));
+      }
     }
   }
 
@@ -841,8 +1032,10 @@ class Solver {
     // The active target set changed: every memoized future bound is stale.
     // Bumping the generation both invalidates surviving searches' memos and
     // fences recycled states (released above) from leaking h-values into the
-    // search seeded below.
+    // search seeded below. Must stay below the u16 stamp wrap until the next
+    // solve-setup fence; one bump per merge keeps this far away.
     ++scratch_.h_gen;
+    CDST_ASSERT(scratch_.h_gen < 0x10000u);
 
     --remaining_;
     if (!root_merge) seed_search(s);

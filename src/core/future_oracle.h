@@ -8,35 +8,52 @@
 
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "geom/point.h"
 #include "graph/graph.h"
 
 namespace cdst {
 
-/// Structure-of-arrays form of a purely geometric bound oracle: a dense
-/// per-vertex position array plus the four per-unit minima the L1 bound
-/// formulas combine. When an oracle publishes this (see
+/// Structure-of-arrays form of a bound oracle with inline-evaluable bounds:
+/// a dense per-vertex position array plus the four per-unit minima the L1
+/// bound formulas combine, optionally strengthened by ALT landmark tables
+/// (graph/landmarks.h) on the cost side. When an oracle publishes this (see
 /// FutureCostOracle::plane_bounds), the solver's inner loop evaluates
 /// cost/delay lower bounds inline — one position load and a few fused
-/// multiply-adds — instead of a virtual call that re-derives coordinates
-/// with div/mod per query. Bounds computed either way are bit-identical;
-/// oracles whose bounds are *not* pure geometry (e.g. landmark-strengthened
-/// cost bounds) return an invalid view and stay on the virtual path.
+/// multiply-adds, plus one dense table load per landmark — instead of a
+/// virtual call that re-derives coordinates with div/mod per query. Bounds
+/// computed either way are bit-identical: the geometric formulas are copied
+/// verbatim, and folding each landmark's |t[a] - t[b]| into the running
+/// bound is exact because max is (the max(geo, max_L ...) of the virtual
+/// path associates freely).
 struct PlaneBoundData {
   const Point3* positions{nullptr};  ///< dense, indexed by solver VertexId
   double min_unit_cost{0.0};
   double min_unit_delay{0.0};
   double min_via_cost{0.0};
   double min_via_delay{0.0};
+  /// ALT landmark distance tables (dense per-vertex, one per landmark);
+  /// null/0 when the oracle has none. Borrowed from the oracle.
+  const std::vector<double>* landmark_tables{nullptr};
+  std::size_t num_landmarks{0};
 
   bool valid() const { return positions != nullptr; }
 
-  /// Exactly the geometric cost_lb formula of the grid oracles.
+  /// Exactly the cost_lb formula of the grid oracles: geometric floor,
+  /// raised by each landmark's triangle-inequality bound.
   double cost_lb(VertexId a, VertexId b) const {
     const Point3& pa = positions[a];
     const Point3& pb = positions[b];
-    return static_cast<double>(l1_distance(pa, pb)) * min_unit_cost +
-           std::abs(pa.z - pb.z) * min_via_cost;
+    double geo = static_cast<double>(l1_distance(pa, pb)) * min_unit_cost +
+                 std::abs(pa.z - pb.z) * min_via_cost;
+    for (std::size_t i = 0; i < num_landmarks; ++i) {
+      const double d = landmark_tables[i][a] - landmark_tables[i][b];
+      const double ad = d < 0 ? -d : d;
+      if (ad > geo) geo = ad;
+    }
+    return geo;
   }
 
   /// Exactly the geometric delay_lb formula of the grid oracles.
@@ -69,9 +86,9 @@ class FutureCostOracle {
   /// Fastest delay per plane unit (any layer/wire type).
   virtual double min_unit_delay() const = 0;
 
-  /// SoA view of the oracle's geometry, when its bounds are pure geometry
-  /// (see PlaneBoundData). Default: none — callers fall back to the virtual
-  /// bound methods above.
+  /// SoA view of the oracle's geometry (and landmark tables, if any) for
+  /// inline bound evaluation (see PlaneBoundData). Default: none — callers
+  /// fall back to the virtual bound methods above.
   virtual PlaneBoundData plane_bounds() const { return {}; }
 };
 

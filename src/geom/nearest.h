@@ -10,12 +10,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "geom/point.h"
 #include "util/assert.h"
+#include "util/simd.h"
 #include "util/sparse_map.h"
 
 namespace cdst {
@@ -50,6 +52,8 @@ class L1NearestNeighbor {
     points_[id] = Entry{p, true, static_cast<std::uint32_t>(act_ids_.size())};
     xs_.push_back(p.x);
     ys_.push_back(p.y);
+    xd_.push_back(static_cast<double>(p.x));
+    yd_.push_back(static_cast<double>(p.y));
     act_ids_.push_back(id);
     bucket_of(p).push_back(id);
     ++active_count_;
@@ -64,10 +68,14 @@ class L1NearestNeighbor {
     const std::uint32_t last = act_ids_.back();
     xs_[pos] = xs_.back();
     ys_[pos] = ys_.back();
+    xd_[pos] = xd_.back();
+    yd_[pos] = yd_.back();
     act_ids_[pos] = last;
     points_[last].compact_pos = pos;
     xs_.pop_back();
     ys_.pop_back();
+    xd_.pop_back();
+    yd_.pop_back();
     act_ids_.pop_back();
     --active_count_;
   }
@@ -119,10 +127,52 @@ class L1NearestNeighbor {
     return best;
   }
 
-  /// Distance to the nearest active point (max() if none).
+  /// Distance to the nearest active point (max() if none), optionally
+  /// excluding one id. This is the solver's bound path: it never needs the
+  /// winning id, so the linear-scan regime runs Vec4d-wide over a double
+  /// mirror of the SoA — int32 coordinates and their L1 sums are exact
+  /// doubles, and the minimum of exact values is the same value under any
+  /// association order, so this returns bit-identically what
+  /// nearest(q, exclude_id).distance would (ids break ties there, never
+  /// the distance).
   std::int64_t nearest_distance(const Point2& q,
                                 std::uint32_t exclude_id = 0xffffffffu) const {
-    return nearest(q, exclude_id).distance;
+    constexpr std::int64_t kNone = std::numeric_limits<std::int64_t>::max();
+    if (active_count_ == 0 || (active_count_ == 1 && active(exclude_id))) {
+      return kNone;
+    }
+    if (active_count_ > kLinearScanMax) return nearest(q, exclude_id).distance;
+    const std::size_t n = act_ids_.size();
+    // The excluded point's lanes blend to +inf instead of branching per
+    // element; `epos - i` wraps for groups left of it, keeping the group
+    // test a single compare.
+    const std::size_t epos =
+        active(exclude_id) ? points_[exclude_id].compact_pos : n;
+    const double qx = static_cast<double>(q.x);
+    const double qy = static_cast<double>(q.y);
+    const Vec4d qx4 = Vec4d::broadcast(qx);
+    const Vec4d qy4 = Vec4d::broadcast(qy);
+    const Vec4d inf4 =
+        Vec4d::broadcast(std::numeric_limits<double>::infinity());
+    Vec4d best4 = inf4;
+    std::size_t i = 0;
+    for (; i + Vec4d::kLanes <= n; i += Vec4d::kLanes) {
+      Vec4d d = Vec4d::abs(Vec4d::load(xd_.data() + i) - qx4) +
+                Vec4d::abs(Vec4d::load(yd_.data() + i) - qy4);
+      if (epos - i < Vec4d::kLanes) {
+        d = Vec4d::blend(d, inf4, 1 << (epos - i));
+      }
+      best4 = Vec4d::min(best4, d);
+    }
+    double bd = best4.hmin();
+    for (; i < n; ++i) {
+      if (i == epos) continue;
+      const double d = std::abs(xd_[i] - qx) + std::abs(yd_[i] - qy);
+      bd = d < bd ? d : bd;
+    }
+    return bd == std::numeric_limits<double>::infinity()
+               ? kNone
+               : static_cast<std::int64_t>(bd);
   }
 
  private:
@@ -237,8 +287,12 @@ class L1NearestNeighbor {
   std::int32_t bucket_size_;
   std::vector<Entry> points_;
   // SoA mirror of the active set (parallel arrays, swap-removal on erase).
+  // xd_/yd_ duplicate xs_/ys_ as doubles so nearest_distance loads lanes
+  // without per-element int->double conversion.
   std::vector<std::int32_t> xs_;
   std::vector<std::int32_t> ys_;
+  std::vector<double> xd_;
+  std::vector<double> yd_;
   std::vector<std::uint32_t> act_ids_;
   // Open-addressed coord -> bucket index. Ring queries probe O(r) buckets
   // per ring, so the lookup must be O(1) — a linear scan over the bucket

@@ -1,5 +1,7 @@
 #include "graph/arc_cost_view.h"
 
+#include <cstdint>
+
 #include "util/assert.h"
 #include "util/fault_injection.h"
 
@@ -20,12 +22,27 @@ void ArcCostView::build_arcs(const Graph& g,
 
   const std::span<const EdgeId> arc_edges = g.arc_edges();
   const std::size_t na = arc_edges.size();
-  arc_cost_.resize(na);
-  arc_delay_.resize(na);
+  num_arcs_ = na;
+  // kRelaxStrip zero doubles of tail padding: a full-width Vec4d load at the
+  // last partial strip stays inside the allocation. resize() retains
+  // capacity across rebuilds, so the pad is re-zeroed explicitly (a shrink
+  // would otherwise leave stale attribute values there).
+  arc_cost_.resize(na + kRelaxStrip);
+  arc_delay_.resize(na + kRelaxStrip);
+  CDST_ASSERT(reinterpret_cast<std::uintptr_t>(arc_cost_.data()) %
+                  kVecAlign ==
+              0);
+  CDST_ASSERT(reinterpret_cast<std::uintptr_t>(arc_delay_.data()) %
+                  kVecAlign ==
+              0);
   for (std::size_t a = 0; a < na; ++a) {
     const EdgeId e = arc_edges[a];
     arc_cost_[a] = edge_cost[e];
     arc_delay_[a] = edge_delay[e];
+  }
+  for (std::size_t a = na; a < na + kRelaxStrip; ++a) {
+    arc_cost_[a] = 0.0;
+    arc_delay_[a] = 0.0;
   }
   if (edge_layer.empty()) {
     arc_layer_.clear();

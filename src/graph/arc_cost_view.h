@@ -11,6 +11,13 @@
 /// shape the blocked, branch-light kernels in graph/dijkstra.h and
 /// core/cost_distance.cpp scan.
 ///
+/// The owned per-arc strips are allocated 32-byte aligned (util/simd.h's
+/// AlignedAllocator) and padded with kRelaxStrip zero doubles beyond their
+/// logical size, so the Vec4d kernels may issue full-width vector loads at
+/// any in-range strip offset — including the last partial strip — without
+/// ever reading past the allocation. The accessor spans still cover exactly
+/// num_arcs() elements; the padding is invisible to callers.
+///
 /// The view is immutable between assign() calls and always owns the
 /// derived per-arc arrays. The per-edge inputs are copied by assign() (the
 /// safe default for callers whose source arrays may die first) or borrowed
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/simd.h"
 
 namespace cdst {
 
@@ -60,9 +68,15 @@ class ArcCostView {
   bool empty() const { return graph_ == nullptr; }
   const Graph* graph() const { return graph_; }
 
-  // Per-arc attribute strips, index-aligned with Graph::arc_heads().
-  std::span<const double> arc_cost() const { return arc_cost_; }
-  std::span<const double> arc_delay() const { return arc_delay_; }
+  // Per-arc attribute strips, index-aligned with Graph::arc_heads(). The
+  // backing buffers extend kRelaxStrip zero-padded doubles past the span end
+  // (full-width vector loads on the final strip stay in-bounds).
+  std::span<const double> arc_cost() const {
+    return {arc_cost_.data(), num_arcs_};
+  }
+  std::span<const double> arc_delay() const {
+    return {arc_delay_.data(), num_arcs_};
+  }
   std::span<const std::uint8_t> arc_layer() const { return arc_layer_; }
   const double* arc_cost_data() const { return arc_cost_.data(); }
   const double* arc_delay_data() const { return arc_delay_.data(); }
@@ -79,8 +93,9 @@ class ArcCostView {
                   std::span<const std::uint8_t> edge_layer);
 
   const Graph* graph_{nullptr};
-  std::vector<double> arc_cost_;
-  std::vector<double> arc_delay_;
+  std::size_t num_arcs_{0};  ///< logical strip length (pad lives beyond it)
+  AlignedVector<double> arc_cost_;
+  AlignedVector<double> arc_delay_;
   std::vector<std::uint8_t> arc_layer_;
   std::vector<double> edge_cost_store_;  ///< empty in borrowed mode
   std::vector<double> edge_delay_store_;

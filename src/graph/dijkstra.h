@@ -17,14 +17,20 @@
 /// Functors constructed from an ArcCostView additionally carry the per-arc
 /// structure-of-arrays plane (graph/arc_cost_view.h). The kernel detects the
 /// plane and switches the relax loop to a blocked, branch-light scan: arc
-/// lengths are evaluated in 8-arc strips over contiguous arrays (the strip
-/// loop has no memory dependencies, so it vectorizes), and the head
-/// vertices' distance slots are explicitly prefetched before the scalar
-/// update pass. Results are bit-identical to the per-edge path.
+/// lengths are evaluated in kRelaxStrip-arc strips as two explicit Vec4d
+/// operations (util/simd.h), the head vertices' current distances are
+/// gathered to pre-filter non-improving lanes, and the head distance slots
+/// are explicitly prefetched before the update pass. The pre-filter is
+/// conservative in exactly the right direction — dist only decreases while a
+/// strip commits, so a lane filtered against the strip-entry distances can
+/// never have improved later — and every surviving lane re-checks against
+/// the live distance (parallel arcs to one head), so results are
+/// bit-identical to the per-edge path.
 
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <limits>
 #include <span>
@@ -37,6 +43,7 @@
 #include "util/d_ary_heap.h"
 #include "util/fibonacci_heap.h"
 #include "util/prefetch.h"
+#include "util/simd.h"
 
 namespace cdst {
 
@@ -83,6 +90,10 @@ struct ArrayLength {
   double operator()(EdgeId e) const { return len[e]; }
   bool has_arc_plane() const { return !arc_len.empty(); }
   double arc_value(std::uint32_t a) const { return arc_len[a]; }
+  /// Lengths of arcs a..a+3 (requires a full in-range lane window).
+  Vec4d arc_value4(std::uint32_t a) const {
+    return Vec4d::load(arc_len.data() + a);
+  }
 };
 
 /// All edges the same length (unit metrics in tests and hop counts).
@@ -118,6 +129,12 @@ struct CostDelayLength {
   double arc_value(std::uint32_t a) const {
     return arc_cost[a] + weight * arc_delay[a];
   }
+  /// Metric of arcs a..a+3; same cost + weight*delay expression shape as
+  /// arc_value(), so fp contraction fuses (or not) identically.
+  Vec4d arc_value4(std::uint32_t a) const {
+    return Vec4d::load(arc_cost.data() + a) +
+           Vec4d::broadcast(weight) * Vec4d::load(arc_delay.data() + a);
+  }
 };
 
 /// Length functors that (optionally) carry a per-arc SoA strip the kernel
@@ -126,6 +143,7 @@ template <typename T>
 concept ArcPlaneLength = requires(const T& t, std::uint32_t a) {
   { t.has_arc_plane() } -> std::convertible_to<bool>;
   { t.arc_value(a) } -> std::convertible_to<double>;
+  { t.arc_value4(a) } -> std::same_as<Vec4d>;
 };
 
 /// Priority queue backing the search. Theorem 1's O(t (n log n + m)) bound
@@ -161,7 +179,6 @@ void dijkstra_search(const Graph& g,
     arc_plane = length.has_arc_plane();
   }
 
-  constexpr std::uint32_t kStrip = 8;  ///< arcs per blocked relax strip
   while (!heap.empty()) {
     const VertexId u = heap.pop_min();
     if (u == target) break;
@@ -179,9 +196,42 @@ void dijkstra_search(const Graph& g,
         for (std::uint32_t a = lo; a < hi; ++a) {
           prefetch_write(&r.dist[heads[a]]);
         }
-        double nd[kStrip];
-        for (std::uint32_t s = lo; s < hi; s += kStrip) {
-          const std::uint32_t cnt = std::min(kStrip, hi - s);
+        const Vec4d du4 = Vec4d::broadcast(du);
+        alignas(kVecAlign) double nd[kRelaxStrip];
+        for (std::uint32_t s = lo; s < hi; s += kRelaxStrip) {
+          const std::uint32_t cnt = std::min(kRelaxStrip, hi - s);
+          if (cnt == kRelaxStrip) {
+            // Full strip: two Vec4d metric evaluations, then a gathered
+            // compare against the heads' current distances pre-filters the
+            // non-improving lanes. dist only decreases while the strip
+            // commits, so the pre-filter can only skip lanes the scalar
+            // loop would also have skipped; surviving lanes still re-check
+            // below (an earlier lane may have lowered the same head via a
+            // parallel arc).
+            const Vec4d nd0 = du4 + length.arc_value4(s);
+            const Vec4d nd1 = du4 + length.arc_value4(s + Vec4d::kLanes);
+            nd0.store(nd);
+            nd1.store(nd + Vec4d::kLanes);
+            unsigned improve = static_cast<unsigned>(
+                Vec4d::lt_mask(nd0, Vec4d::gather(r.dist.data(), heads + s)) |
+                Vec4d::lt_mask(nd1, Vec4d::gather(r.dist.data(),
+                                                  heads + s + Vec4d::kLanes))
+                    << Vec4d::kLanes);
+            while (improve != 0) {
+              const int k = std::countr_zero(improve);
+              improve &= improve - 1;
+              const VertexId to = heads[s + k];
+              CDST_ASSERT(nd[k] >= du);
+              if (nd[k] < r.dist[to]) {
+                r.dist[to] = nd[k];
+                r.parent_edge[to] = edges[s + k];
+                r.parent[to] = u;
+                heap.push_or_decrease(to, nd[k]);
+              }
+            }
+            continue;
+          }
+          // Partial tail strip: the scalar evaluation, unchanged.
           for (std::uint32_t k = 0; k < cnt; ++k) {
             nd[k] = du + length.arc_value(s + k);
           }

@@ -60,13 +60,18 @@ class FutureCost : public FutureCostOracle {
     return cost_lb(a, b) + weight * delay_lb(a, b);
   }
 
-  /// SoA geometry plane for inline bound evaluation — only when the bounds
-  /// really are pure geometry: with ALT landmarks the cost bound is
-  /// max(geometric, landmark) and must go through the virtual path.
+  /// SoA geometry plane for inline bound evaluation. ALT landmark tables
+  /// ride along: PlaneBoundData folds max(geometric, landmark) exactly like
+  /// cost_lb() above, so the inline path stays bit-identical and the solver
+  /// no longer falls back to virtual dispatch when landmarks are on.
   PlaneBoundData plane_bounds() const override {
-    if (landmarks_ != nullptr) return {};
-    return PlaneBoundData{grid_->positions().data(), min_unit_cost_,
-                          min_unit_delay_, min_via_cost_, min_via_delay_};
+    PlaneBoundData pb{grid_->positions().data(), min_unit_cost_,
+                      min_unit_delay_, min_via_cost_, min_via_delay_};
+    if (landmarks_ != nullptr) {
+      pb.landmark_tables = landmarks_->tables().data();
+      pb.num_landmarks = landmarks_->count();
+    }
+    return pb;
   }
 
   const RoutingGrid& grid() const { return *grid_; }

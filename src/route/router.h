@@ -70,6 +70,15 @@ struct RouterOptions {
   /// not owned: the transport must outlive the session (or the set_options
   /// call that replaces it). Ignored when shards == 0.
   dist::ShardTransport* transport{nullptr};
+  /// Work-stealing execution of in-process sharded rounds: shards keep
+  /// their frozen owner-claim order, but idle lanes steal net spans from
+  /// unfinished shards (route/sharding.h, ShardStealSchedule), so an
+  /// imbalanced tile no longer idles every other core at the merge
+  /// barrier. Purely an executor policy — results stay bit-identical with
+  /// stealing on or off, at any thread/shard count. Ignored by transport
+  /// dispatch (whole shards are the transport's work unit) and by retry
+  /// attempts (which re-execute serially).
+  bool shard_stealing{true};
 };
 
 /// Snapshot of a routing state: final (route_chip) or current

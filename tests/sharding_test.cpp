@@ -186,43 +186,102 @@ TEST(Sharding, TileLatticeMatchesGridAspect) {
 // Sharded rounds: bit-identity across thread and shard counts.
 
 RouterResult route_sharded(const RoutingGrid& grid, const Netlist& nl,
-                           int threads, int shards, int rounds) {
+                           int threads, int shards, int rounds,
+                           bool stealing = true) {
   RouterOptions opts;
   opts.method = SteinerMethod::kCD;
   opts.threads = threads;
   opts.shards = shards;
+  opts.shard_stealing = stealing;
   Router session(grid, nl, opts);
   const Status st = session.run(rounds);
   EXPECT_TRUE(st.ok()) << st.to_string();
   return std::move(session).take_result();
 }
 
-TEST(ShardedRouter, BitIdenticalAcrossThreadAndShardCounts) {
+TEST(ShardedRouter, BitIdenticalAcrossThreadShardAndStealingCounts) {
   const ChipConfig c = tiny_chip();
   const RoutingGrid grid = make_chip_grid(c);
   const Netlist nl = generate_netlist(c, grid);
 
-  const RouterResult ref = route_sharded(grid, nl, 1, 1, 2);
+  // Reference: static execution, serial, one shard. Stealing is an executor
+  // policy, so every (threads, shards, stealing) cell must reproduce it.
+  const RouterResult ref =
+      route_sharded(grid, nl, 1, 1, 2, /*stealing=*/false);
   ASSERT_EQ(ref.routes.size(), nl.nets.size());
   EXPECT_GT(ref.wires.wirelength_gcells, 0.0);
 
   for (const int threads : {1, 2, 4}) {
     for (const int shards : {1, 4, 16}) {
-      if (threads == 1 && shards == 1) continue;
-      const RouterResult got = route_sharded(grid, nl, threads, shards, 2);
-      ASSERT_EQ(got.routes.size(), ref.routes.size());
-      for (std::size_t i = 0; i < ref.routes.size(); ++i) {
-        EXPECT_EQ(got.routes[i], ref.routes[i])
-            << "net " << i << " at threads=" << threads
-            << " shards=" << shards;
+      for (const bool stealing : {false, true}) {
+        if (threads == 1 && shards == 1 && !stealing) continue;
+        const RouterResult got =
+            route_sharded(grid, nl, threads, shards, 2, stealing);
+        ASSERT_EQ(got.routes.size(), ref.routes.size());
+        for (std::size_t i = 0; i < ref.routes.size(); ++i) {
+          EXPECT_EQ(got.routes[i], ref.routes[i])
+              << "net " << i << " at threads=" << threads
+              << " shards=" << shards << " stealing=" << stealing;
+        }
+        ASSERT_EQ(got.sink_delays.size(), ref.sink_delays.size());
+        for (std::size_t s = 0; s < ref.sink_delays.size(); ++s) {
+          EXPECT_EQ(got.sink_delays[s], ref.sink_delays[s]) << "sink " << s;
+        }
+        EXPECT_EQ(got.wires.num_vias, ref.wires.num_vias);
       }
-      ASSERT_EQ(got.sink_delays.size(), ref.sink_delays.size());
-      for (std::size_t s = 0; s < ref.sink_delays.size(); ++s) {
-        EXPECT_EQ(got.sink_delays[s], ref.sink_delays[s]) << "sink " << s;
-      }
-      EXPECT_EQ(got.wires.num_vias, ref.wires.num_vias);
     }
   }
+}
+
+TEST(ShardedRouter, StealingEmitsOneEventPerShardWithTelemetry) {
+  // Whichever lane routes a shard's last span owns its completion event:
+  // still exactly one event per shard per round, nets_done still monotonic
+  // to the netlist total, and the steal telemetry stays consistent (a
+  // shard's stolen nets never exceed its net count).
+  struct CountingSink final : EventSink {
+    std::vector<int> events_per_shard;
+    std::size_t last_nets_done{0};
+    std::size_t nets_total{0};
+    bool monotonic{true};
+    std::size_t stolen_total{0};
+    bool stolen_in_range{true};
+    void on_router_shard(const RouterShardEvent& event) override {
+      if (events_per_shard.size() <
+          static_cast<std::size_t>(event.shards)) {
+        events_per_shard.resize(static_cast<std::size_t>(event.shards), 0);
+      }
+      ++events_per_shard[static_cast<std::size_t>(event.shard)];
+      monotonic = monotonic && event.nets_done > last_nets_done;
+      last_nets_done = event.nets_done;
+      nets_total = event.nets_total;
+      stolen_total += event.stolen_nets;
+      stolen_in_range =
+          stolen_in_range && event.stolen_nets <= event.shard_nets;
+    }
+  };
+
+  const ChipConfig c = tiny_chip();
+  const RoutingGrid grid = make_chip_grid(c);
+  const Netlist nl = generate_netlist(c, grid);
+  RouterOptions opts;
+  opts.method = SteinerMethod::kCD;
+  opts.threads = 4;
+  opts.shards = 8;
+
+  CountingSink sink;
+  RunControl control;
+  control.events = &sink;
+  Router session(grid, nl, opts);
+  ASSERT_TRUE(session.run(1, control).ok());
+
+  ASSERT_EQ(sink.events_per_shard.size(), 8u);
+  for (std::size_t sh = 0; sh < sink.events_per_shard.size(); ++sh) {
+    EXPECT_EQ(sink.events_per_shard[sh], 1) << "shard " << sh;
+  }
+  EXPECT_TRUE(sink.monotonic);
+  EXPECT_EQ(sink.last_nets_done, sink.nets_total);
+  EXPECT_EQ(sink.nets_total, nl.nets.size());
+  EXPECT_TRUE(sink.stolen_in_range);
 }
 
 TEST(ShardedRouter, SplitRunsMatchOneRun) {
