@@ -34,7 +34,10 @@ Rules (each has a stable id, used by the allow directive):
                 be constructed in api/status.h and the helpers in
                 api/scratch_pool.h: these codes carry hard semantics (budget
                 truly exhausted, deadline truly expired), so every origin
-                must flow through the audited helpers.
+                must flow through the audited helpers. This covers all of
+                src/ including the serving core (src/serve/), whose admission
+                rejects and deadline expirations are the highest-traffic
+                consumers of both codes.
   fault-site    Every CDST_FAULT_POINT site name in src/ must appear in the
                 fault-sweep manifest (tests/fault_injection_test.cpp), so no
                 injection site can exist that the sweep never exercises.
@@ -585,6 +588,8 @@ def self_test() -> int:
         "src/grid/clean.h": set(),
         "src/api/clean.cpp": set(),
         "src/core/bad_status_origin.cpp": {"status-origin"},
+        "src/serve/bad_status_origin.cpp": {"status-origin"},
+        "src/serve/clean_admission.cpp": set(),
         "src/io/bad_wire.cpp": {"wire-format"},
         "src/io/clean_wire.cpp": set(),
         "src/util/bad_fault_site.cpp": {"fault-site"},

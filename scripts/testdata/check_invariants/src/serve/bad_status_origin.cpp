@@ -1,0 +1,18 @@
+// Fixture: a serving-layer admission path that forges an origin-restricted
+// status instead of routing through the audited helpers -> status-origin.
+// The serving core is exactly where the temptation lives (admission rejects
+// with kResourceExhausted, deadlines expire with kDeadlineExceeded), so the
+// rule must bite under src/serve/ like everywhere else.
+#include <string>
+
+namespace cdst {
+struct Status {
+  static Status ResourceExhausted(const std::string& msg);
+};
+
+namespace serve {
+Status fake_admit() {
+  return Status::ResourceExhausted("admission forged outside the helpers");
+}
+}  // namespace serve
+}  // namespace cdst

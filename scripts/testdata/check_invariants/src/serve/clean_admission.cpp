@@ -1,0 +1,23 @@
+// Fixture: a clean serving-layer admission path — the origin-restricted
+// statuses flow through the audited helpers (api/scratch_pool.h), so no
+// rule fires.
+#include <cstddef>
+#include <string>
+
+namespace cdst {
+struct Status {
+  static Status Ok();
+};
+namespace detail {
+Status resource_exhausted_status(const std::string& what);
+}  // namespace detail
+
+namespace serve {
+Status clean_admit(std::size_t projected, std::size_t budget) {
+  if (projected > budget) {
+    return detail::resource_exhausted_status("projection exceeds the budget");
+  }
+  return Status::Ok();
+}
+}  // namespace serve
+}  // namespace cdst

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace cdst {
@@ -26,6 +27,24 @@ Router Engine::make_router(const RoutingGrid& grid, const Netlist& netlist,
   if (options.oracle.cd.shared_dense_budget == nullptr) {
     options.oracle.cd.shared_dense_budget = &dense_budget_;
   }
+  // Engine-vended sessions run on the engine's pool; a per-session thread
+  // request cannot be honored. Surface the mismatch instead of silently
+  // ignoring it (N tenants each asking for the whole machine is the classic
+  // serving misconfiguration), and make the vended session report the
+  // concurrency it actually gets. threads == 1 is RouterOptions' default
+  // and indistinguishable from "unset", so only explicit non-default
+  // requests warn.
+  const int pool_threads = pool_->concurrency();
+  if (options.threads != 1 && options.threads != pool_threads) {
+    CDST_LOG(kWarn) << "Engine::make_router: options.threads="
+                    << options.threads
+                    << " is ignored for engine-vended sessions; the engine "
+                       "pool provides "
+                    << pool_threads
+                    << " lanes (results are thread-count-invariant either "
+                       "way)";
+  }
+  options.threads = pool_threads;
   return Router(grid, netlist, options, pool_.get());
 }
 

@@ -58,7 +58,15 @@ class Engine {
 
   /// A Router session on the engine's pool whose per-net oracle lanes draw
   /// from the engine's shared budget (same override rule as make_solver).
-  /// options.threads is ignored — the engine's pool decides concurrency.
+  ///
+  /// `options.threads` does not apply to engine-vended sessions: the
+  /// engine's pool decides concurrency for every session it vends (that is
+  /// the point of the facade), and results are thread-count-invariant
+  /// anyway. The override is not silent: a caller-set value that differs
+  /// from the pool's concurrency logs a warning (the classic multi-tenant
+  /// misconfiguration is N tenants each asking for the whole machine), and
+  /// the vended session's options().threads reports the pool's actual
+  /// concurrency, not the ignored request.
   Router make_router(const RoutingGrid& grid, const Netlist& netlist,
                      RouterOptions options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <span>
 #include <string>
 #include <utility>
@@ -970,6 +971,146 @@ Status Router::restore(const RouterCheckpoint& cp) {
     if (!route.empty()) impl.costs.add_usage(route, +1.0);
   }
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RouterRun — run() opened as a resumable round stream.
+
+/// Heap state behind the move-only RouterRun handle. Heap allocation keeps
+/// the address stable across handle moves, because the capture sink below
+/// points back at it and engine worker threads hold that pointer while a
+/// slice runs.
+struct RouterRun::State {
+  /// Observes every slice's events: round-barrier and cancelled summaries
+  /// are queued for poll(), everything is forwarded to the stream owner's
+  /// sink with target_round rewritten from the slice's run(1) horizon to
+  /// the stream's absolute target (a slice only ever knows it is heading
+  /// for "one more round"; stream observers want the real goal).
+  struct CaptureSink final : public EventSink {
+    State* state{nullptr};
+
+    void on_solve_merge(const SolveMergeEvent& event) override {
+      if (state->base.events != nullptr) state->base.events->on_solve_merge(event);
+    }
+    void on_job(const JobEvent& event) override {
+      if (state->base.events != nullptr) state->base.events->on_job(event);
+    }
+    void on_router_shard(const RouterShardEvent& event) override {
+      if (state->base.events == nullptr) return;
+      RouterShardEvent rewritten = event;
+      rewritten.target_round = state->target_round;
+      state->base.events->on_router_shard(rewritten);
+    }
+    void on_router_round(const RouterRoundEvent& event) override {
+      RouterRoundEvent rewritten = event;
+      rewritten.target_round = state->target_round;
+      if (rewritten.round_complete || rewritten.cancelled) {
+        // The engine serializes event delivery within a slice, but poll()
+        // may drain from another thread concurrently — hence the lock.
+        MutexLock lock(state->mu);
+        if (state->queue.size() >= kMaxQueuedEvents) {
+          state->queue.pop_front();
+          ++state->dropped;
+        }
+        state->queue.push_back(rewritten);
+      }
+      if (state->base.events != nullptr) {
+        state->base.events->on_router_round(rewritten);
+      }
+    }
+    void on_fault(const FaultEvent& event) override {
+      if (state->base.events != nullptr) state->base.events->on_fault(event);
+    }
+  };
+
+  Router* router{nullptr};
+  RunControl base;  ///< captured at run_async(); deadline mutable later
+  /// Rounds not yet committed. Mutated only by the pumping thread (step /
+  /// submit), never during a slice.
+  int remaining{0};
+  /// Absolute session round the stream is heading for; read by the capture
+  /// sink on worker threads while a slice runs, updated by the pumping
+  /// thread only between slices.
+  int target_round{0};
+  Status last{Status::Ok()};
+  CaptureSink sink;
+
+  mutable Mutex mu;
+  std::deque<RouterRoundEvent> queue CDST_GUARDED_BY(mu);
+  std::size_t dropped CDST_GUARDED_BY(mu){0};
+};
+
+RouterRun Router::run_async(int rounds, const RunControl& control) {
+  CDST_CHECK(rounds >= 0);
+  auto state = std::make_unique<RouterRun::State>();
+  state->router = this;
+  state->base = control;
+  state->remaining = rounds;
+  state->target_round = impl_->rounds_done + rounds;
+  state->sink.state = state.get();
+  return RouterRun(std::move(state));
+}
+
+RouterRun::RouterRun(std::unique_ptr<State> state) : state_(std::move(state)) {}
+RouterRun::~RouterRun() = default;
+RouterRun::RouterRun(RouterRun&&) noexcept = default;
+RouterRun& RouterRun::operator=(RouterRun&&) noexcept = default;
+
+Status RouterRun::step() {
+  State& s = *state_;
+  if (s.remaining <= 0) return s.last;
+  RunControl slice;
+  slice.cancel = s.base.cancel;
+  slice.events = &s.sink;
+  slice.on_progress = s.base.on_progress;
+  slice.deadline = s.base.deadline;
+  slice.cancel_poll_interval = s.base.cancel_poll_interval;
+  s.last = s.router->run(1, slice);
+  if (s.last.ok()) --s.remaining;
+  return s.last;
+}
+
+Status RouterRun::drain() {
+  while (state_->remaining > 0) {
+    const Status status = step();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status RouterRun::submit(int rounds) {
+  if (rounds < 0) {
+    return Status::InvalidArgument("RouterRun::submit: rounds must be >= 0");
+  }
+  state_->remaining += rounds;
+  state_->target_round += rounds;
+  return Status::Ok();
+}
+
+int RouterRun::rounds_remaining() const { return state_->remaining; }
+
+bool RouterRun::done() const { return state_->remaining <= 0; }
+
+Status RouterRun::status() const { return state_->last; }
+
+std::optional<RouterRoundEvent> RouterRun::poll() {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  if (s.queue.empty()) return std::nullopt;
+  RouterRoundEvent event = s.queue.front();
+  s.queue.pop_front();
+  return event;
+}
+
+std::size_t RouterRun::dropped_events() const {
+  State& s = *state_;
+  MutexLock lock(s.mu);
+  return s.dropped;
+}
+
+void RouterRun::set_deadline(
+    std::optional<std::chrono::steady_clock::time_point> d) {
+  state_->base.deadline = d;
 }
 
 // Legacy one-shot wrapper (declared deprecated in route/router.h).

@@ -27,11 +27,15 @@
 
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "api/events.h"
 #include "api/run_control.h"
 #include "api/status.h"
 #include "route/router.h"
@@ -39,6 +43,7 @@
 namespace cdst {
 
 class ThreadPool;
+class RouterRun;
 
 /// Serializable snapshot of a Router session's round state, taken at a
 /// round barrier (Router::checkpoint) and replayed into a fresh session
@@ -93,6 +98,20 @@ class Router {
   /// run() calls produces bit-identical routes. rounds == 0 is a no-op.
   Status run(int rounds, const RunControl& control = {});
 
+  /// Opens the same `rounds` as a resumable stream instead of one blocking
+  /// call: the returned RouterRun executes one round per step() on the
+  /// calling thread and queues the round-barrier events for poll(). Because
+  /// run() is split-invariant (run(1) x N is bit-identical to run(N)), the
+  /// stream's committed state after k steps equals run(k) — this is the
+  /// round-granularity slicing a scheduler interleaves across sessions (see
+  /// serve/serve.h). `control` is captured for every slice: its cancel
+  /// token, deadline and poll interval apply per step, and its EventSink
+  /// observes every slice (with target_round rewritten to the stream's
+  /// absolute target). The Router and the captured control must outlive the
+  /// RouterRun, and the Router must not be moved, run() directly, or handed
+  /// to a second run_async while this one is open.
+  RouterRun run_async(int rounds, const RunControl& control = {});
+
   /// Coherent snapshot of the current routing (timing/congestion/wire
   /// metrics recomputed from committed state). Valid after any run() —
   /// including one that returned kCancelled.
@@ -141,6 +160,76 @@ class Router {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// A Router::run() opened as a resumable round stream (submit/step/poll/
+/// drain) — the unit a multi-tenant scheduler interleaves.
+///
+/// Execution is cooperative, not background: step() runs exactly one
+/// Lagrangean round synchronously on the calling thread, fanning out on the
+/// session's ThreadPool exactly like run() would (a round pushed onto the
+/// pool as a fire-and-forget task would serialize its own nested
+/// parallel_for — see util/thread_pool.h — so the pump stays outside the
+/// pool by design). Determinism is inherited, not re-proven: each step() is
+/// a run(1), and run() guarantees any split of N rounds is bit-identical.
+///
+/// step()'s Status is the slice's run() Status; kCancelled /
+/// kDeadlineExceeded / kUnavailable leave the session at the last round
+/// barrier and the stream open, so the pump may step() again after the
+/// owner clears the condition (reset the token, extend the deadline via
+/// set_deadline()). submit() adds rounds to an open stream at any point.
+///
+/// Round-barrier and cancelled-summary events of every slice are queued for
+/// poll() (bounded: the oldest are dropped beyond kMaxQueuedEvents, counted
+/// by dropped_events()) and forwarded to the captured control's sink.
+/// Threading: one pumping thread calls step()/drain()/submit(); poll() and
+/// dropped_events() are additionally safe from any thread.
+class RouterRun {
+ public:
+  /// Queue capacity for poll(); beyond it the oldest events are dropped.
+  static constexpr std::size_t kMaxQueuedEvents = 256;
+
+  ~RouterRun();
+  RouterRun(RouterRun&&) noexcept;
+  RouterRun& operator=(RouterRun&&) noexcept;
+
+  /// Executes one round slice (a run(1)) on the calling thread. No-op
+  /// returning status() when the stream is already drained. On kOk one
+  /// round was committed; on any other Status the session sits at its last
+  /// round barrier and the round stays pending — step() again to retry.
+  Status step();
+
+  /// step()s until rounds_remaining() == 0 or a slice fails; returns the
+  /// first non-OK slice Status (stream stays open and resumable) or kOk.
+  Status drain();
+
+  /// Adds rounds to the stream's target. kInvalidArgument when negative.
+  Status submit(int rounds);
+
+  /// Rounds not yet committed by a step().
+  int rounds_remaining() const;
+  /// True once every submitted round has been committed.
+  bool done() const;
+  /// Status of the most recent slice (kOk before the first step()).
+  Status status() const;
+
+  /// Pops the oldest queued round-barrier / cancelled-summary event, or
+  /// nullopt when none is pending. Safe from any thread.
+  std::optional<RouterRoundEvent> poll();
+  /// Events discarded because the poll() queue was full. Safe from any
+  /// thread.
+  std::size_t dropped_events() const;
+
+  /// Replaces the deadline applied to subsequent slices (nullopt removes
+  /// it) — the revival path for a stream whose last slice returned
+  /// kDeadlineExceeded.
+  void set_deadline(std::optional<std::chrono::steady_clock::time_point> d);
+
+ private:
+  friend class Router;
+  struct State;
+  explicit RouterRun(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace cdst

@@ -1,0 +1,89 @@
+/// \file serve/admission.h
+/// Admission control for the serving core: bounded session count and a
+/// projected dense-state budget.
+///
+/// Tenants declare at open time how many dense-state bytes their session is
+/// expected to reserve (TenantOptions::projected_dense_bytes). The
+/// controller admits a session only while the sum of projections fits the
+/// configured limit — by default the capacity of the engine's shared
+/// DenseStateBudget — and while the registry has room. Refusal is the typed
+/// kResourceExhausted contract ("this cannot fit; do not retry as-is"),
+/// minted through the audited origin helpers of api/scratch_pool.h, never
+/// ad hoc. Projections are a *planning* bound: actual reservations still go
+/// through the DenseStateBudget at solve time; the serve tests cross-check
+/// that the budget's peak_reserved_bytes() stays within the admission
+/// limit.
+///
+/// This class is pure bookkeeping with no lock of its own: EngineServer
+/// guards its instance with the registry mutex (see serve/serve.h).
+
+#pragma once
+
+#include <cstddef>
+
+#include "api/scratch_pool.h"
+#include "api/status.h"
+#include "util/fault_injection.h"
+
+namespace cdst::serve {
+
+/// Static limits the controller admits against.
+struct AdmissionLimits {
+  /// Maximum concurrently open sessions (queue-depth bound).
+  std::size_t max_sessions{64};
+  /// Maximum sum of admitted projections in bytes; 0 admits any projection
+  /// (the session-count bound still applies).
+  std::size_t max_projected_bytes{0};
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionLimits& limits)
+      : limits_(limits) {}
+
+  /// Admits one session projecting `projected_bytes` of dense state, or
+  /// returns kResourceExhausted (and counts the rejection) when either
+  /// limit would be exceeded. The "serve.admit" fault site fires before any
+  /// bookkeeping, so an injected admission fault leaves the controller
+  /// bit-identical to one that never saw the request.
+  Status admit(std::size_t projected_bytes) {
+    CDST_FAULT_POINT("serve.admit");
+    if (sessions_ + 1 > limits_.max_sessions) {
+      ++rejected_;
+      return detail::resource_exhausted_status(
+          "serve admission: session limit reached");
+    }
+    if (limits_.max_projected_bytes != 0 &&
+        projected_ + projected_bytes > limits_.max_projected_bytes) {
+      ++rejected_;
+      return detail::resource_exhausted_status(
+          "serve admission: projected dense-state bytes exceed the "
+          "admission budget");
+    }
+    ++sessions_;
+    ++admitted_;
+    projected_ += projected_bytes;
+    return Status::Ok();
+  }
+
+  /// Returns a closed session's projection to the pool.
+  void release(std::size_t projected_bytes) {
+    if (sessions_ > 0) --sessions_;
+    projected_ -= projected_bytes < projected_ ? projected_bytes : projected_;
+  }
+
+  const AdmissionLimits& limits() const { return limits_; }
+  std::size_t sessions() const { return sessions_; }
+  std::size_t projected_bytes() const { return projected_; }
+  std::size_t admitted_total() const { return admitted_; }
+  std::size_t rejected_total() const { return rejected_; }
+
+ private:
+  AdmissionLimits limits_;
+  std::size_t sessions_{0};
+  std::size_t projected_{0};
+  std::size_t admitted_{0};
+  std::size_t rejected_{0};
+};
+
+}  // namespace cdst::serve

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "api/cdst.h"
+#include "api/engine.h"
 #include "api/scratch_pool.h"
 #include "dist/transport.h"
+#include "serve/serve.h"
 #include "grid/future_cost.h"
 #include "grid/routing_grid.h"
 #include "route/netlist_gen.h"
@@ -45,6 +47,7 @@ constexpr const char* kFaultSiteManifest[] = {
     "dist.transport",
     "pool.task",
     "router.shard",
+    "serve.admit",
     "solver.budget_reserve",
     "stream.dispatch",
 };
@@ -459,6 +462,18 @@ TEST(FaultSweep, ManifestSitesAllRegisterAndFire) {
     for (StatusOr<SolveResult>& r : stream.drain()) ASSERT_TRUE(r.ok());
   }
 
+  // A serving-core admission is the only surface that executes the
+  // "serve.admit" site.
+  {
+    Engine engine(EngineOptions{2, 64u << 20});
+    serve::EngineServer server(engine, {});
+    const StatusOr<serve::SessionId> id =
+        server.open_router_session(grid, nl, sweep_router_options());
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(server.submit_rounds(id.value(), 1).ok());
+    ASSERT_TRUE(server.run_until_idle().ok());
+  }
+
   const std::vector<std::string> registered = reg.sites();
   for (const char* site : kFaultSiteManifest) {
     bool found = false;
@@ -574,6 +589,48 @@ TEST(FaultSweep, EverySiteGivesCleanStatusOrBitIdenticalResult) {
           EXPECT_EQ(results[i].status().code(), StatusCode::kUnavailable)
               << results[i].status().to_string();
         }
+      }
+    }
+    reg.disarm_all();
+
+    // Serve workload: a two-tenant schedule over the serving core — the
+    // only surface that reaches "serve.admit". An injected admission fault
+    // surfaces as clean kUnavailable from open with the registry untouched
+    // (committed state intact: the session count is exactly the successful
+    // opens); a fault inside a slice pauses only its tenant with a typed
+    // status, and the paused session resumes bit-identically.
+    reg.arm(site, transient);
+    {
+      Engine engine(EngineOptions{2, 64u << 20});
+      serve::EngineServer server(engine, {});
+      std::vector<serve::SessionId> ids;
+      for (int tenant = 0; tenant < 2; ++tenant) {
+        StatusOr<serve::SessionId> id =
+            server.open_router_session(grid, nl, opts);
+        if (!id.ok()) {
+          EXPECT_EQ(id.status().code(), StatusCode::kUnavailable)
+              << id.status().to_string();
+          EXPECT_EQ(server.stats().sessions_open, ids.size())
+              << "failed admission must leave the registry untouched";
+          reg.disarm_all();  // the nth-hit policy already self-disarmed
+          id = server.open_router_session(grid, nl, opts);
+          ASSERT_TRUE(id.ok()) << id.status().to_string();
+        }
+        ids.push_back(id.value());
+        ASSERT_TRUE(server.submit_rounds(id.value(), 2).ok());
+      }
+      ASSERT_TRUE(server.run_until_idle().ok());
+      for (const serve::SessionId sid : ids) {
+        const Status tenant_status = server.session_status(sid);
+        if (!tenant_status.ok()) {
+          EXPECT_EQ(tenant_status.code(), StatusCode::kUnavailable)
+              << tenant_status.to_string();
+          reg.disarm_all();
+          ASSERT_TRUE(server.resume(sid).ok());
+          ASSERT_TRUE(server.run_until_idle().ok());
+          EXPECT_TRUE(server.session_status(sid).ok());
+        }
+        expect_same_routing(server.result(sid).value(), want);
       }
     }
     reg.disarm_all();
